@@ -1,0 +1,96 @@
+// Command vavgbench regenerates the paper's evaluation artifacts: every
+// row of Tables 1 and 2, Figure 1, the Lemma 6.1 decay and the Feuilloley
+// ring reference points.
+//
+// Usage:
+//
+//	vavgbench -list
+//	vavgbench -exp all
+//	vavgbench -exp t2-mis -sizes 1024,4096,16384 -seeds 1,2,3
+//	vavgbench -exp table1 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"vavg/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id, or 'all'")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		sizes = flag.String("sizes", "", "comma-separated graph sizes (default per experiment)")
+		seeds = flag.String("seeds", "", "comma-separated seeds (default 1,2,3)")
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %-38s %s\n", e.ID, e.Artifact, e.Claim)
+		}
+		return
+	}
+
+	cfg := experiments.Config{W: os.Stdout, Quick: *quick}
+	var err error
+	if cfg.Sizes, err = parseInts(*sizes); err != nil {
+		fatal(err)
+	}
+	var seeds64 []int
+	if seeds64, err = parseInts(*seeds); err != nil {
+		fatal(err)
+	}
+	for _, s := range seeds64 {
+		cfg.Seeds = append(cfg.Seeds, int64(s))
+	}
+
+	run := func(e experiments.Experiment) {
+		fmt.Printf("== %s — %s\n   claim: %s\n", e.ID, e.Artifact, e.Claim)
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		e, err := experiments.Find(strings.TrimSpace(id))
+		if err != nil {
+			fatal(err)
+		}
+		run(e)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vavgbench:", err)
+	os.Exit(1)
+}

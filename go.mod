@@ -1,0 +1,3 @@
+module vavg
+
+go 1.22

@@ -1,0 +1,182 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogStar(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 4: 2, 16: 3, 65536: 4, 1 << 20: 5}
+	for n, want := range cases {
+		if got := LogStar(n); got != want {
+			t.Errorf("LogStar(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestIterLog(t *testing.T) {
+	if IterLog(1<<16, 1) != 16 {
+		t.Errorf("IterLog(2^16,1) = %d", IterLog(1<<16, 1))
+	}
+	if IterLog(1<<16, 2) != 4 {
+		t.Errorf("IterLog(2^16,2) = %d", IterLog(1<<16, 2))
+	}
+	if IterLog(1<<16, 10) != 1 {
+		t.Errorf("IterLog(2^16,10) = %d", IterLog(1<<16, 10))
+	}
+	if IterLog(100, 0) != 100 {
+		t.Errorf("IterLog(100,0) = %d", IterLog(100, 0))
+	}
+}
+
+func TestRhoTinyN(t *testing.T) {
+	// Regression: Rho(1) used to loop forever (IterLog floors at 1).
+	for _, n := range []int{1, 2, 3, 4} {
+		if r := Rho(n); r != 2 {
+			t.Errorf("Rho(%d) = %d, want 2", n, r)
+		}
+	}
+}
+
+func TestRhoMonotoneAndBounded(t *testing.T) {
+	for _, n := range []int{16, 256, 65536, 1 << 20} {
+		r := Rho(n)
+		if r < 2 {
+			t.Errorf("Rho(%d) = %d < 2", n, r)
+		}
+		if IterLog(n, r-1) < LogStar(n) {
+			t.Errorf("Rho(%d) = %d violates defining property", n, r)
+		}
+	}
+}
+
+func TestLinialParamsGuarantee(t *testing.T) {
+	for _, p := range []int{10, 1000, 1 << 20} {
+		for _, A := range []int{1, 3, 8, 20} {
+			q, d := LinialParams(p, A)
+			if !isPrime(q) {
+				t.Errorf("q=%d not prime", q)
+			}
+			if q <= A*d {
+				t.Errorf("p=%d A=%d: q=%d <= A*d=%d", p, A, q, A*d)
+			}
+			if polyDegree(p, q) != d {
+				t.Errorf("p=%d A=%d: degree mismatch", p, A)
+			}
+		}
+	}
+}
+
+func TestLinialScheduleConverges(t *testing.T) {
+	for _, A := range []int{2, 4, 12} {
+		sched := LinialSchedule(1<<20, A)
+		if len(sched) > 8 {
+			t.Errorf("A=%d: schedule too long (%d steps), want O(log* n)", A, len(sched))
+		}
+		final := sched[len(sched)-1]
+		if LinialPaletteAfter(final, A) != final {
+			t.Errorf("A=%d: schedule does not end at a fixed point: %v", A, sched)
+		}
+		// Fixed point is O(A^2): generous constant for the polynomial family.
+		if final > 64*(A+1)*(A+1) {
+			t.Errorf("A=%d: final palette %d not O(A^2)", A, final)
+		}
+	}
+}
+
+// TestLinialStepProperness simulates the reduction on random DAG colorings:
+// orient a random graph by ID, give every vertex a distinct color, apply
+// LinialStep simultaneously, and confirm properness is preserved along all
+// edges at each step of the schedule.
+func TestLinialStepProperness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(40)
+		A := 2 + rng.Intn(4)
+		// Random orientation with out-degree <= A: each vertex picks up to A
+		// parents among higher IDs.
+		parents := make([][]int, n)
+		for v := 0; v < n; v++ {
+			for j := 0; j < A && v+1 < n; j++ {
+				p := v + 1 + rng.Intn(n-v-1)
+				parents[v] = append(parents[v], p)
+			}
+		}
+		colors := make([]int, n)
+		for v := range colors {
+			colors[v] = v
+		}
+		sched := LinialSchedule(n, A)
+		for step := 1; step < len(sched); step++ {
+			p := sched[step-1]
+			next := make([]int, n)
+			for v := 0; v < n; v++ {
+				pc := make([]int, len(parents[v]))
+				for j, u := range parents[v] {
+					pc[j] = colors[u]
+				}
+				next[v] = LinialStep(p, A, colors[v], pc)
+			}
+			for v := 0; v < n; v++ {
+				if next[v] >= sched[step] {
+					return false
+				}
+				for _, u := range parents[v] {
+					if next[v] == next[u] {
+						return false
+					}
+				}
+			}
+			colors = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalPolyDistinctness(t *testing.T) {
+	// Distinct colors yield polynomials agreeing on < d points... verify the
+	// counting bound used by LinialStep on a concrete field.
+	q, d := 7, 3
+	for c1 := 0; c1 < 40; c1++ {
+		for c2 := c1 + 1; c2 < 40; c2++ {
+			agree := 0
+			for x := 0; x < q; x++ {
+				if evalPoly(c1, q, d, x) == evalPoly(c2, q, d, x) {
+					agree++
+				}
+			}
+			if agree >= d {
+				t.Fatalf("colors %d,%d agree on %d >= d=%d points", c1, c2, agree, d)
+			}
+		}
+	}
+}
+
+func TestKWPhaseSchedule(t *testing.T) {
+	for _, A := range []int{1, 4, 9} {
+		m := 30 * (A + 1)
+		phases := kwPhases(m, A)
+		if len(phases) == 0 {
+			t.Fatalf("A=%d: no phases for m=%d", A, m)
+		}
+		// Each phase at least halves (up to rounding) until <= A+1.
+		cur := m
+		for _, pm := range phases {
+			if pm != cur {
+				t.Fatalf("A=%d: phase palette %d, want %d", A, pm, cur)
+			}
+			groups := (cur + 2*(A+1) - 1) / (2 * (A + 1))
+			cur = groups * (A + 1)
+		}
+		if cur > A+1 {
+			t.Errorf("A=%d: schedule ends at %d > A+1", A, cur)
+		}
+		if KWRounds(m, A) != len(phases)*2*(A+1) {
+			t.Errorf("KWRounds inconsistent")
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package coloring
+
+import (
+	"vavg/internal/engine"
+)
+
+// Sink consumes messages that a coloring subroutine receives but does not
+// itself understand (Join announcements, terminations, foreign traffic).
+// Composed algorithms pass their partition tracker's Absorb here so that
+// active-degree accounting stays correct while a subroutine runs.
+type Sink func(msgs []engine.Msg)
+
+// NopSink ignores stray messages.
+func NopSink([]engine.Msg) {}
+
+// ColorMsg announces the sender's current color within a coloring
+// subroutine instance. Step disambiguates pipelined instances.
+type ColorMsg struct {
+	Step int32
+	C    int32
+}
+
+// ChosenMsg announces a final (or phase-final) color choice.
+type ChosenMsg struct {
+	Kind int32 // algorithm-specific namespace
+	C    int32
+}
+
+// memberSet answers "is this sender part of my subroutine instance".
+type memberSet struct {
+	idx map[int32]bool // neighbor IDs
+}
+
+func newMemberSet(api *engine.API, members []int) memberSet {
+	ids := api.NeighborIDs()
+	m := memberSet{idx: make(map[int32]bool, len(members))}
+	for _, k := range members {
+		m.idx[ids[k]] = true
+	}
+	return m
+}
+
+// IteratedLinial runs Procedure Arb-Linial-Coloring on a synchronized set
+// of vertices: the caller's instance consists of the neighbor indices in
+// members (its neighbors participating in the instance), of which
+// parentIdx are its parents under an acyclic orientation with out-degree
+// at most A. Initial colors are vertex IDs (a proper n-coloring). All
+// instance vertices must start in the same round and run in lockstep. The
+// routine performs IteratedLinialRounds(n, A) exchanges and returns the
+// final color, in [0, LinialFinalPalette(n, A)).
+func IteratedLinial(api *engine.API, members, parentIdx []int, A int, sink Sink) int {
+	sched := LinialSchedule(api.N(), A)
+	ids := api.NeighborIDs()
+	parentColors := make([]int, len(parentIdx))
+	for j, k := range parentIdx {
+		parentColors[j] = int(ids[k])
+	}
+	parentOf := make(map[int32]int, len(parentIdx)) // vertex ID -> slot
+	for j, k := range parentIdx {
+		parentOf[ids[k]] = j
+	}
+	c := api.ID()
+	for step := 1; step < len(sched); step++ {
+		c = LinialStep(sched[step-1], A, c, parentColors)
+		if step == len(sched)-1 {
+			break // no one needs my color for a further step
+		}
+		api.Broadcast(ColorMsg{Step: int32(step), C: int32(c)})
+		msgs := api.Next()
+		var stray []engine.Msg
+		for _, m := range msgs {
+			cm, ok := m.Data.(ColorMsg)
+			if !ok {
+				stray = append(stray, m)
+				continue
+			}
+			if j, isParent := parentOf[m.From]; isParent && int(cm.Step) == step {
+				parentColors[j] = int(cm.C)
+			}
+		}
+		if len(stray) > 0 {
+			sink(stray)
+		}
+	}
+	return c
+}
+
+// IteratedLinialRounds returns the number of exchanges IteratedLinial
+// performs for an n-vertex graph and out-degree bound A: one per reduction
+// step except the last. This is O(log* n).
+func IteratedLinialRounds(n, A int) int {
+	steps := len(LinialSchedule(n, A)) - 1
+	if steps <= 0 {
+		return 0
+	}
+	return steps - 1
+}
+
+// kwPhases returns the palette sizes at the start of each KW halving
+// phase, beginning at m and ending when the palette is at most A+1.
+func kwPhases(m, A int) []int {
+	var phases []int
+	for m > A+1 {
+		phases = append(phases, m)
+		groups := (m + 2*(A+1) - 1) / (2 * (A + 1))
+		m = groups * (A + 1)
+	}
+	return phases
+}
+
+// KWRounds returns the number of exchanges KWReduce performs when
+// reducing a proper m-coloring to A+1 colors: O(A log(m/A)) — with
+// m = O(A^2), O(A log A).
+func KWRounds(m, A int) int {
+	total := 0
+	for range kwPhases(m, A) {
+		total += 2 * (A + 1)
+	}
+	return total
+}
+
+// KWReduce applies Kuhn-Wattenhofer palette halving to reduce a proper
+// m-coloring of the member set (within which this vertex has at most A
+// neighbors) to a proper coloring with palette [0, A+1). All instance
+// vertices start in the same round with consistent (m, A). In each phase
+// the current classes are split into groups of 2(A+1); the classes of a
+// group take turns (one round each) choosing a free color from the
+// group's fresh (A+1)-color target palette, so each phase halves the
+// palette at a cost of 2(A+1) rounds.
+func KWReduce(api *engine.API, members []int, myColor, m, A int, sink Sink) int {
+	ms := newMemberSet(api, members)
+	c := myColor
+	for range kwPhases(m, A) {
+		groupSize := 2 * (A + 1)
+		group := c / groupSize
+		class := c % groupSize
+		base := group * (A + 1)
+		taken := make(map[int]bool) // colors announced this phase
+		chosen := -1
+		for r := 0; r < groupSize; r++ {
+			if r == class {
+				for cand := base; ; cand++ {
+					if !taken[cand] {
+						chosen = cand
+						break
+					}
+				}
+				api.Broadcast(ChosenMsg{Kind: kwKind, C: int32(chosen)})
+			}
+			msgs := api.Next()
+			var stray []engine.Msg
+			for _, msg := range msgs {
+				cm, ok := msg.Data.(ChosenMsg)
+				if !ok || cm.Kind != kwKind || !ms.idx[msg.From] {
+					stray = append(stray, msg)
+					continue
+				}
+				taken[int(cm.C)] = true
+			}
+			if len(stray) > 0 {
+				sink(stray)
+			}
+		}
+		if chosen < 0 {
+			panic("coloring: KW vertex never scheduled (improper input coloring?)")
+		}
+		c = chosen
+	}
+	return c
+}
+
+const kwKind = 1
+
+// DeltaPlus1Rounds returns the exchange count of DeltaPlus1OnSet for an
+// n-vertex graph with within-set degree bound A: iterated Linial plus KW.
+func DeltaPlus1Rounds(n, A int) int {
+	return IteratedLinialRounds(n, A) + KWRounds(LinialFinalPalette(n, A), A)
+}
+
+// DeltaPlus1OnSet colors the member set with at most A+1 colors, where A
+// bounds this vertex's degree within the set, in DeltaPlus1Rounds(n, A)
+// exchanges: iterated Linial from IDs oriented by descending ID, then KW
+// reduction. This is the library's stand-in for the Barenboim-Elkin
+// linear-in-Delta (Delta+1)-coloring invoked by the paper on H-sets; its
+// O(A log A + log* n) running time preserves the paper's O(a ...) shape
+// (see DESIGN.md, substitution 1).
+func DeltaPlus1OnSet(api *engine.API, members []int, A int, sink Sink) int {
+	ids := api.NeighborIDs()
+	var parents []int
+	for _, k := range members {
+		if int(ids[k]) > api.ID() {
+			parents = append(parents, k)
+		}
+	}
+	c := IteratedLinial(api, members, parents, A, sink)
+	return KWReduce(api, members, c, LinialFinalPalette(api.N(), A), A, sink)
+}

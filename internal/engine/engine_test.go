@@ -1,0 +1,300 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"vavg/internal/graph"
+)
+
+// flood: every vertex learns the max ID within distance k in k+1 rounds.
+func floodMax(k int) Program {
+	return func(api *API) any {
+		best := api.ID()
+		for i := 0; i < k; i++ {
+			api.Broadcast(best)
+			for _, m := range api.Next() {
+				if v, ok := m.Data.(int); ok && v > best {
+					best = v
+				}
+			}
+		}
+		return best
+	}
+}
+
+func TestFloodMaxOnRing(t *testing.T) {
+	g := graph.Ring(8)
+	res, err := Run(g, floodMax(4), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		want := 7
+		if v == 2 { // distance from 2 to 7 is 3 <= 4: reachable
+			want = 7
+		}
+		if res.Output[v] != want {
+			t.Errorf("vertex %d output %v, want %d", v, res.Output[v], want)
+		}
+		if res.Rounds[v] != 5 { // 4 exchanges + 1 final round
+			t.Errorf("vertex %d rounds %d, want 5", v, res.Rounds[v])
+		}
+	}
+	if res.TotalRounds != 5 {
+		t.Errorf("TotalRounds = %d, want 5", res.TotalRounds)
+	}
+	if got := res.VertexAverage(); got != 5 {
+		t.Errorf("VertexAverage = %v, want 5", got)
+	}
+}
+
+func TestRoundSumMatchesActivePerRound(t *testing.T) {
+	g := graph.ForestUnion(200, 2, 7)
+	// Vertices idle for a number of rounds proportional to their ID mod 17.
+	prog := func(api *API) any {
+		api.Idle(api.ID() % 17)
+		return api.ID()
+	}
+	res, err := Run(g, prog, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, a := range res.ActivePerRound {
+		sum += int64(a)
+	}
+	if sum != res.RoundSum {
+		t.Errorf("sum of ActivePerRound = %d, RoundSum = %d", sum, res.RoundSum)
+	}
+	for v := 0; v < g.N(); v++ {
+		if int(res.Rounds[v]) != v%17+1 {
+			t.Errorf("vertex %d rounds = %d, want %d", v, res.Rounds[v], v%17+1)
+		}
+	}
+}
+
+func TestFinalBroadcastVisibleToNeighbors(t *testing.T) {
+	g := graph.Path(3)
+	// Vertex 0 terminates immediately with output "done"; vertex 1 waits
+	// for the Final message; vertex 2 waits for vertex 1's relay.
+	prog := func(api *API) any {
+		switch api.ID() {
+		case 0:
+			return "done"
+		case 1:
+			for {
+				for _, m := range api.Next() {
+					if f, ok := m.Data.(Final); ok && m.From == 0 {
+						return "saw:" + f.Output.(string)
+					}
+				}
+			}
+		default:
+			for {
+				for _, m := range api.Next() {
+					if f, ok := m.Data.(Final); ok && m.From == 1 {
+						return f.Output
+					}
+				}
+			}
+		}
+	}
+	res, err := Run(g, prog, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[1] != "saw:done" {
+		t.Errorf("vertex 1 output %v", res.Output[1])
+	}
+	if res.Output[2] != "saw:done" {
+		t.Errorf("vertex 2 output %v", res.Output[2])
+	}
+	// Vertex 0 terminates in round 1; vertex 1's first Next returns round-1
+	// traffic, so it terminates in round 2; vertex 2 in round 3.
+	if res.Rounds[0] != 1 || res.Rounds[1] != 2 || res.Rounds[2] != 3 {
+		t.Errorf("rounds = %v, want [1 2 3]", res.Rounds)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	g := graph.ForestUnion(120, 3, 11)
+	prog := func(api *API) any {
+		// Randomized program: random idle then output a random value.
+		api.Idle(api.Rand().Intn(5))
+		return api.Rand().Int63()
+	}
+	r1, err := Run(g, prog, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(g, prog, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Output, r2.Output) {
+		t.Error("outputs differ across identically-seeded runs")
+	}
+	if !reflect.DeepEqual(r1.Rounds, r2.Rounds) {
+		t.Error("round counts differ across identically-seeded runs")
+	}
+	r3, err := Run(g, prog, Options{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(r1.Output, r3.Output) {
+		t.Error("different seeds produced identical outputs (suspicious)")
+	}
+}
+
+func TestSendIDAndPointToPoint(t *testing.T) {
+	g := graph.Star(5)
+	prog := func(api *API) any {
+		if api.ID() == 0 {
+			for k, nbr := range api.NeighborIDs() {
+				api.Send(k, int(nbr)*10)
+			}
+			api.Next()
+			return nil
+		}
+		msgs := api.Next()
+		if len(msgs) != 1 {
+			return -1
+		}
+		return msgs[0].Data
+	}
+	res, err := Run(g, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 5; v++ {
+		if res.Output[v] != v*10 {
+			t.Errorf("vertex %d got %v, want %d", v, res.Output[v], v*10)
+		}
+	}
+}
+
+func TestMaxRoundsAborts(t *testing.T) {
+	g := graph.Ring(4)
+	prog := func(api *API) any {
+		for {
+			api.Next()
+		}
+	}
+	_, err := Run(g, prog, Options{MaxRounds: 50})
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestVertexPanicPropagates(t *testing.T) {
+	g := graph.Ring(4)
+	prog := func(api *API) any {
+		if api.ID() == 2 {
+			panic("boom")
+		}
+		api.Idle(3)
+		return nil
+	}
+	_, err := Run(g, prog, Options{})
+	if err == nil {
+		t.Fatal("expected error from panicking vertex")
+	}
+}
+
+func TestMessageOverwriteWithinRound(t *testing.T) {
+	g := graph.Path(2)
+	prog := func(api *API) any {
+		if api.ID() == 0 {
+			api.Send(0, "first")
+			api.Send(0, "second")
+			api.Next()
+			return nil
+		}
+		msgs := api.Next()
+		return msgs[0].Data
+	}
+	res, err := Run(g, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[1] != "second" {
+		t.Errorf("got %v, want overwrite semantics", res.Output[1])
+	}
+}
+
+func TestCommitRounds(t *testing.T) {
+	g := graph.Path(3)
+	prog := func(api *API) any {
+		if api.ID() == 0 {
+			api.Commit() // commits in round 1
+			api.Commit() // second call must not move it
+			api.Idle(4)  // keeps relaying
+			return "zero"
+		}
+		api.Idle(2)
+		return api.ID()
+	}
+	res, err := Run(g, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommitRounds[0] != 1 {
+		t.Errorf("vertex 0 commit round = %d, want 1", res.CommitRounds[0])
+	}
+	if res.Rounds[0] != 5 {
+		t.Errorf("vertex 0 terminated at %d, want 5", res.Rounds[0])
+	}
+	// Vertices without Commit default to their termination round.
+	for v := 1; v < 3; v++ {
+		if res.CommitRounds[v] != res.Rounds[v] {
+			t.Errorf("vertex %d commit %d != rounds %d", v, res.CommitRounds[v], res.Rounds[v])
+		}
+	}
+	wantAvg := float64(1+3+3) / 3
+	if res.CommitAverage() != wantAvg {
+		t.Errorf("CommitAverage = %v, want %v", res.CommitAverage(), wantAvg)
+	}
+	if res.MaxCommit() != 3 {
+		t.Errorf("MaxCommit = %d, want 3", res.MaxCommit())
+	}
+}
+
+func TestAPIAccessors(t *testing.T) {
+	g := graph.Ring(5)
+	prog := func(api *API) any {
+		if api.N() != 5 || api.Degree() != 2 {
+			t.Errorf("N/Degree wrong")
+		}
+		nbrs := api.NeighborIDs()
+		if api.NeighborIndex(nbrs[1]) != 1 || api.NeighborIndex(int32(api.ID())) != -1 {
+			t.Errorf("NeighborIndex wrong")
+		}
+		if api.Round() != 0 {
+			t.Errorf("Round before any Next should be 0")
+		}
+		api.SendID(int(nbrs[0]), "hi")
+		got := api.Next()
+		if api.Round() != 1 {
+			t.Errorf("Round after Next should be 1")
+		}
+		return len(got)
+	}
+	res, err := Run(g, prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every vertex sent exactly one point-to-point message (to its lowest
+	// neighbor), so five messages arrived in total.
+	total := 0
+	for _, o := range res.Output {
+		total += o.(int)
+	}
+	if total != g.N() {
+		t.Errorf("received %d messages in total, want %d", total, g.N())
+	}
+	if res.Messages != int64(g.N())+int64(2*g.M()) { // sends + final broadcasts
+		t.Errorf("Messages = %d, want %d", res.Messages, g.N()+2*g.M())
+	}
+}

@@ -1,0 +1,183 @@
+// Package forest implements Procedure Parallelized-Forest-Decomposition
+// (Section 7.1): an O(a)-forests-decomposition of the input graph's edges
+// with O(1) vertex-averaged complexity, against a worst case of
+// Theta(log n) for the classical Procedure Forest-Decomposition it
+// parallelizes.
+//
+// The procedure drives Procedure Partition; immediately upon formation of
+// H-set H_i, each joining vertex orients its incident edges (toward the
+// endpoint in the higher-indexed H-set, or toward the higher ID within the
+// same set) and labels its outgoing edges with distinct labels from
+// {1,...,outdeg} <= {1,...,A}. Each label class is a forest because every
+// vertex has at most one outgoing edge per label and the orientation is
+// acyclic.
+package forest
+
+import (
+	"fmt"
+
+	"vavg/internal/check"
+	"vavg/internal/engine"
+	"vavg/internal/graph"
+	"vavg/internal/hpartition"
+)
+
+// Output is the per-vertex result of the decomposition.
+type Output struct {
+	// H is the vertex's H-set index (1-based).
+	H int32
+	// Labels maps each out-neighbor's vertex ID to the forest label
+	// (1-based) this vertex assigned to the connecting edge.
+	Labels map[int32]int32
+}
+
+// Decomp is the per-vertex composable state: a partition Tracker plus the
+// orientation and labels computed at settle time. Composed algorithms
+// embed it and call JoinAndSettle (or drive StepJoin/Settle themselves).
+type Decomp struct {
+	Tr *hpartition.Tracker
+	// OutIdx lists neighbor indices of outgoing edges (the "parents" of
+	// this vertex under the orientation), ascending.
+	OutIdx []int
+	// OutLabels[j] is the label of the j-th outgoing edge (j+1 by
+	// construction, kept explicit for clarity).
+	OutLabels []int32
+}
+
+// NewDecomp initializes decomposition state.
+func NewDecomp(api *engine.API, a int, eps float64) *Decomp {
+	return &Decomp{Tr: hpartition.NewTracker(api, a, eps)}
+}
+
+// StepJoin runs one partition round; see hpartition.Tracker.Step.
+func (d *Decomp) StepJoin(api *engine.API, attach any) (joined bool, msgs []engine.Msg) {
+	return d.Tr.Step(api, attach)
+}
+
+// Settle runs the settle round that follows joining: it absorbs the
+// same-round Join announcements and computes this vertex's outgoing edges
+// and labels. Must be called exactly once, in the round right after the
+// vertex joined. Returns the settle-round messages for further processing.
+func (d *Decomp) Settle(api *engine.API) []engine.Msg {
+	msgs := api.Next()
+	d.Tr.Absorb(api, msgs)
+	d.computeOrientation(api)
+	return msgs
+}
+
+// computeOrientation classifies each incident edge. Outgoing edges point
+// to neighbors in later H-sets (or still active, hence joining later), or
+// to same-set neighbors with higher ID.
+func (d *Decomp) computeOrientation(api *engine.API) {
+	my := d.Tr.HIndex
+	ids := api.NeighborIDs()
+	for k, h := range d.Tr.NbrH {
+		out := false
+		switch {
+		case h <= 0: // still active (joins later) or terminated foreign
+			out = h == 0
+		case h > my:
+			out = true
+		case h == my:
+			out = int(ids[k]) > api.ID()
+		}
+		if out {
+			d.OutIdx = append(d.OutIdx, k)
+			d.OutLabels = append(d.OutLabels, int32(len(d.OutIdx)))
+		}
+	}
+}
+
+// Out reports whether the k-th incident edge is outgoing, and its label.
+func (d *Decomp) Out(k int) (label int32, ok bool) {
+	for j, idx := range d.OutIdx {
+		if idx == k {
+			return d.OutLabels[j], true
+		}
+	}
+	return 0, false
+}
+
+// Parents returns the vertex IDs of out-neighbors.
+func (d *Decomp) Parents(api *engine.API) []int32 {
+	ids := api.NeighborIDs()
+	ps := make([]int32, len(d.OutIdx))
+	for j, k := range d.OutIdx {
+		ps[j] = ids[k]
+	}
+	return ps
+}
+
+// JoinAndSettle runs partition rounds until the vertex joins, then the
+// settle round. It returns the number of partition rounds used.
+func (d *Decomp) JoinAndSettle(api *engine.API) int {
+	for {
+		joined, _ := d.StepJoin(api, nil)
+		if joined {
+			break
+		}
+	}
+	d.Settle(api)
+	return d.Tr.RoundsDone()
+}
+
+// Output assembles the per-vertex Output of the decomposition.
+func (d *Decomp) Output(api *engine.API) Output {
+	ids := api.NeighborIDs()
+	labels := make(map[int32]int32, len(d.OutIdx))
+	for j, k := range d.OutIdx {
+		labels[ids[k]] = d.OutLabels[j]
+	}
+	return Output{H: d.Tr.HIndex, Labels: labels}
+}
+
+// Program is standalone Procedure Parallelized-Forest-Decomposition: each
+// vertex joins an H-set, settles, and terminates with its Output; its
+// final broadcast carries the labels to the edge heads. A vertex joining
+// in partition round i terminates in round i+2, so the vertex-averaged
+// complexity is O(1) (Theorem 7.1).
+func Program(a int, eps float64) engine.Program {
+	return func(api *engine.API) any {
+		d := NewDecomp(api, a, eps)
+		d.JoinAndSettle(api)
+		return d.Output(api)
+	}
+}
+
+// Collect reconstructs the global orientation and labeling from the
+// per-vertex outputs of a Program run, for validation: every edge is
+// oriented away from the vertex that labeled it.
+func Collect(g *graph.Graph, outputs []any) (check.Orientation, map[graph.Edge]int, error) {
+	orient := make(check.Orientation, g.M())
+	labels := make(map[graph.Edge]int, g.M())
+	for v := 0; v < g.N(); v++ {
+		out, ok := outputs[v].(Output)
+		if !ok {
+			return nil, nil, fmt.Errorf("forest: vertex %d output %T, want Output", v, outputs[v])
+		}
+		for head, label := range out.Labels {
+			if !g.HasEdge(v, int(head)) {
+				return nil, nil, fmt.Errorf("forest: vertex %d labeled non-edge to %d", v, head)
+			}
+			e := graph.Edge{U: int32(v), V: head}
+			if e.U > e.V {
+				e.U, e.V = e.V, e.U
+			}
+			if _, dup := orient[e]; dup {
+				return nil, nil, fmt.Errorf("forest: edge {%d,%d} oriented twice", e.U, e.V)
+			}
+			orient[e] = head
+			labels[e] = int(label)
+		}
+	}
+	return orient, labels, nil
+}
+
+// HIndexes extracts the per-vertex H-indices from a Program run.
+func HIndexes(outputs []any) []int {
+	h := make([]int, len(outputs))
+	for v, o := range outputs {
+		h[v] = int(o.(Output).H)
+	}
+	return h
+}

@@ -1,0 +1,199 @@
+// Package graph provides the static undirected graphs on which the
+// distributed algorithms of this library run, together with generators for
+// the graph families used in the paper's complexity tables and structural
+// utilities (degeneracy, Nash-Williams density, components, BFS).
+//
+// Graphs are stored in compressed sparse row (CSR) form with precomputed
+// reverse-edge indices: for the k-th neighbor v of u, Rev tells at which
+// position u appears in v's adjacency list. This lets the simulation engine
+// deliver messages into per-directed-edge slots without locking.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph. Vertices are 0..N-1.
+type Graph struct {
+	// Off has length N+1; the neighbors of u are Adj[Off[u]:Off[u+1]].
+	Off []int32
+	// Adj lists neighbor vertex IDs, sorted ascending within each vertex.
+	Adj []int32
+	// Rev maps each directed-edge position to the position of its reverse:
+	// if Adj[p] = v for an edge (u,v), then Adj[Rev[p]] = u within v's range.
+	Rev []int32
+	// Name optionally describes the generator that produced the graph.
+	Name string
+	// ArborBound is a certified upper bound on the arboricity, when the
+	// generator knows one, and 0 otherwise.
+	ArborBound int
+
+	n int
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.Adj) / 2 }
+
+// Degree returns the degree of vertex u.
+func (g *Graph) Degree(u int) int { return int(g.Off[u+1] - g.Off[u]) }
+
+// Neighbors returns the (sorted) neighbor IDs of u. The returned slice
+// aliases the graph's storage and must not be modified.
+func (g *Graph) Neighbors(u int) []int32 { return g.Adj[g.Off[u]:g.Off[u+1]] }
+
+// EdgeSlot returns the global directed-edge position of u's k-th neighbor.
+func (g *Graph) EdgeSlot(u, k int) int32 { return g.Off[u] + int32(k) }
+
+// NeighborIndex returns the position of v within u's adjacency list, or -1
+// if u and v are not adjacent. It runs in O(log deg(u)).
+func (g *Graph) NeighborIndex(u, v int) int {
+	adj := g.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= int32(v) })
+	if i < len(adj) && adj[i] == int32(v) {
+		return i
+	}
+	return -1
+}
+
+// MaxDegree returns Delta(G).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for u := 0; u < g.n; u++ {
+		if deg := g.Degree(u); deg > d {
+			d = deg
+		}
+	}
+	return d
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return g.NeighborIndex(u, v) >= 0 }
+
+// Edge is an undirected edge; U < V always holds after normalization.
+type Edge struct{ U, V int32 }
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges are merged; self-loops are rejected.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder { return &Builder{n: n} }
+
+// AddEdge records the undirected edge {u,v}. It panics on out-of-range
+// vertices or self-loops, which always indicate generator bugs.
+func (b *Builder) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
+	}
+	if u < 0 || v < 0 || u >= b.n || v >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, Edge{int32(u), int32(v)})
+}
+
+// NumEdges returns the number of edges added so far (before deduplication).
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build produces the immutable CSR graph.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].U != b.edges[j].U {
+			return b.edges[i].U < b.edges[j].U
+		}
+		return b.edges[i].V < b.edges[j].V
+	})
+	// Deduplicate.
+	uniq := b.edges[:0]
+	for i, e := range b.edges {
+		if i == 0 || e != b.edges[i-1] {
+			uniq = append(uniq, e)
+		}
+	}
+	b.edges = uniq
+
+	g := &Graph{n: b.n}
+	deg := make([]int32, b.n+1)
+	for _, e := range b.edges {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	g.Off = make([]int32, b.n+1)
+	for i := 0; i < b.n; i++ {
+		g.Off[i+1] = g.Off[i] + deg[i+1]
+	}
+	g.Adj = make([]int32, 2*len(b.edges))
+	g.Rev = make([]int32, 2*len(b.edges))
+	cursor := make([]int32, b.n)
+	copy(cursor, g.Off[:b.n])
+	for _, e := range b.edges {
+		pu, pv := cursor[e.U], cursor[e.V]
+		g.Adj[pu] = e.V
+		g.Adj[pv] = e.U
+		g.Rev[pu] = pv
+		g.Rev[pv] = pu
+		cursor[e.U]++
+		cursor[e.V]++
+	}
+	// Edges were added in sorted order per vertex, so adjacency lists are
+	// already ascending; verify in debug builds via tests.
+	return g
+}
+
+// FromEdges builds a graph directly from an edge list.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(int(e.U), int(e.V))
+	}
+	return b.Build()
+}
+
+// Edges returns all undirected edges, each once, with U < V, sorted.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.M())
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v {
+				out = append(out, Edge{int32(u), v})
+			}
+		}
+	}
+	return out
+}
+
+// Subgraph returns the subgraph induced by keep (keep[v] true), along with
+// the mapping orig[i] = original ID of new vertex i.
+func (g *Graph) Subgraph(keep []bool) (*Graph, []int32) {
+	remap := make([]int32, g.n)
+	var orig []int32
+	for v := 0; v < g.n; v++ {
+		if keep[v] {
+			remap[v] = int32(len(orig))
+			orig = append(orig, int32(v))
+		} else {
+			remap[v] = -1
+		}
+	}
+	b := NewBuilder(len(orig))
+	for _, v := range orig {
+		for _, w := range g.Neighbors(int(v)) {
+			if v < w && keep[w] {
+				b.AddEdge(int(remap[v]), int(remap[w]))
+			}
+		}
+	}
+	sub := b.Build()
+	sub.Name = g.Name + "/induced"
+	sub.ArborBound = g.ArborBound
+	return sub, orig
+}

@@ -1,0 +1,272 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderCSRInvariants(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}})
+	if g.N() != 5 || g.M() != 6 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	checkCSR(t, g)
+	if g.Degree(0) != 3 || g.Degree(3) != 2 {
+		t.Errorf("degrees wrong: %d %d", g.Degree(0), g.Degree(3))
+	}
+	if !g.HasEdge(0, 2) || g.HasEdge(1, 3) {
+		t.Error("HasEdge wrong")
+	}
+}
+
+func checkCSR(t *testing.T, g *Graph) {
+	t.Helper()
+	for u := 0; u < g.N(); u++ {
+		adj := g.Neighbors(u)
+		for k, v := range adj {
+			if k > 0 && adj[k-1] >= v {
+				t.Fatalf("vertex %d adjacency not strictly ascending", u)
+			}
+			if int(v) == u {
+				t.Fatalf("self-loop at %d", u)
+			}
+			// Reverse index round-trips.
+			p := g.Off[u] + int32(k)
+			rp := g.Rev[p]
+			if g.Adj[rp] != int32(u) {
+				t.Fatalf("Rev broken at edge (%d,%d)", u, v)
+			}
+			if g.Rev[rp] != p {
+				t.Fatalf("Rev not involutive at edge (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestDuplicateEdgesMerged(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on self-loop")
+		}
+	}()
+	NewBuilder(2).AddEdge(1, 1)
+}
+
+func TestGeneratorsBasicShape(t *testing.T) {
+	cases := []struct {
+		g      *Graph
+		n, m   int
+		maxDeg int
+	}{
+		{Ring(10), 10, 10, 2},
+		{Path(10), 10, 9, 2},
+		{Star(10), 10, 9, 9},
+		{CompleteBinaryTree(15), 15, 14, 3},
+		{Grid(4, 5), 20, 31, 4},
+		{Clique(6), 6, 15, 5},
+		{Hypercube(4), 16, 32, 4},
+		{Caterpillar(10), 10, 9, 3},
+	}
+	for _, c := range cases {
+		if c.g.N() != c.n || c.g.M() != c.m || c.g.MaxDegree() != c.maxDeg {
+			t.Errorf("%s: N=%d M=%d Delta=%d, want %d %d %d",
+				c.g.Name, c.g.N(), c.g.M(), c.g.MaxDegree(), c.n, c.m, c.maxDeg)
+		}
+		checkCSR(t, c.g)
+	}
+}
+
+func TestForestUnionArboricityCertificate(t *testing.T) {
+	for _, a := range []int{1, 2, 4, 8} {
+		g := ForestUnion(500, a, int64(a)*17)
+		checkCSR(t, g)
+		d := Degeneracy(g)
+		if d > 2*a-1 {
+			t.Errorf("a=%d: degeneracy %d exceeds 2a-1=%d (arboricity bound violated)", a, d, 2*a-1)
+		}
+		if lb := NashWilliamsLowerBound(g); lb > a {
+			t.Errorf("a=%d: Nash-Williams lower bound %d exceeds certified arboricity", a, lb)
+		}
+	}
+}
+
+func TestDegeneracyKnownValues(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{Path(10), 1},
+		{Ring(10), 2},
+		{Star(50), 1},
+		{CompleteBinaryTree(31), 1},
+		{Clique(7), 6},
+		{Grid(5, 5), 2},
+		{TriangulatedGrid(5, 5), 3},
+	}
+	for _, c := range cases {
+		if got := Degeneracy(c.g); got != c.want {
+			t.Errorf("%s: degeneracy = %d, want %d", c.g.Name, got, c.want)
+		}
+	}
+}
+
+func TestDegeneracyMatchesNaive(t *testing.T) {
+	// Property: bucket-queue degeneracy equals the naive peeling version.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(60)
+		m := rng.Intn(3 * n)
+		g := Gnm(n, m, seed)
+		_, naive := DegeneracyOrder(g)
+		return Degeneracy(g) == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := Clique(6)
+	keep := []bool{true, false, true, true, false, true}
+	sub, orig := g.Subgraph(keep)
+	if sub.N() != 4 || sub.M() != 6 {
+		t.Fatalf("induced K4 expected, got N=%d M=%d", sub.N(), sub.M())
+	}
+	want := []int32{0, 2, 3, 5}
+	for i, v := range orig {
+		if v != want[i] {
+			t.Fatalf("orig = %v", orig)
+		}
+	}
+	checkCSR(t, sub)
+}
+
+func TestComponentsAndBFS(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	// 5, 6 isolated
+	g := b.Build()
+	comp, count := Components(g)
+	if count != 4 {
+		t.Fatalf("components = %d, want 4", count)
+	}
+	if comp[0] != comp[2] || comp[3] != comp[4] || comp[5] == comp[6] {
+		t.Errorf("component labels wrong: %v", comp)
+	}
+	dist := BFS(g, 0)
+	if dist[2] != 2 || dist[3] != -1 {
+		t.Errorf("BFS dist wrong: %v", dist)
+	}
+	if Eccentricity(Ring(10), 0) != 5 {
+		t.Error("ring eccentricity wrong")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := TriangulatedGrid(4, 4)
+	edges := g.Edges()
+	if len(edges) != g.M() {
+		t.Fatalf("Edges() returned %d, want %d", len(edges), g.M())
+	}
+	g2 := FromEdges(g.N(), edges)
+	if g2.M() != g.M() {
+		t.Fatal("round-trip changed edge count")
+	}
+	for u := 0; u < g.N(); u++ {
+		for k, v := range g.Neighbors(u) {
+			if g2.Neighbors(u)[k] != v {
+				t.Fatal("round-trip changed adjacency")
+			}
+		}
+	}
+}
+
+func TestGnmAndRegularish(t *testing.T) {
+	g := Gnm(100, 300, 5)
+	checkCSR(t, g)
+	if g.M() != 300 {
+		t.Errorf("Gnm produced %d edges", g.M())
+	}
+	if g.ArborBound < 1 {
+		t.Error("Gnm did not certify arboricity")
+	}
+	r := RandomRegularish(100, 6, 5)
+	checkCSR(t, r)
+	if r.MaxDegree() > 12 {
+		t.Errorf("regularish degree too high: %d", r.MaxDegree())
+	}
+}
+
+func TestStarForestShape(t *testing.T) {
+	g := StarForest(100, 9)
+	checkCSR(t, g)
+	if d := Degeneracy(g); d > 2 {
+		t.Errorf("star forest degeneracy %d", d)
+	}
+	if g.MaxDegree() < 9 {
+		t.Errorf("star forest max degree %d too small", g.MaxDegree())
+	}
+	if _, count := Components(g); count != 1 {
+		t.Errorf("star forest not connected: %d components", count)
+	}
+}
+
+func TestRingShuffled(t *testing.T) {
+	g := RingShuffled(50, 9)
+	checkCSR(t, g)
+	if g.M() != 50 {
+		t.Fatalf("M = %d, want 50", g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("vertex %d degree %d, want 2", v, g.Degree(v))
+		}
+	}
+	if _, count := Components(g); count != 1 {
+		t.Fatal("shuffled ring not a single cycle")
+	}
+	// Labels should not be positionally adjacent everywhere (that would
+	// mean the shuffle did nothing).
+	sequential := 0
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if int(w) == (v+1)%g.N() {
+				sequential++
+			}
+		}
+	}
+	if sequential > g.N() {
+		t.Errorf("shuffle ineffective: %d sequential adjacencies", sequential)
+	}
+}
+
+func TestKaryTree(t *testing.T) {
+	g := KaryTree(100, 5)
+	checkCSR(t, g)
+	if g.M() != 99 {
+		t.Fatalf("M = %d, want 99 (tree)", g.M())
+	}
+	if d := Degeneracy(g); d != 1 {
+		t.Fatalf("degeneracy %d, want 1", d)
+	}
+	if g.MaxDegree() != 6 {
+		t.Errorf("max degree %d, want k+1=6", g.MaxDegree())
+	}
+	if _, count := Components(g); count != 1 {
+		t.Error("k-ary tree not connected")
+	}
+}

@@ -1,0 +1,222 @@
+package graph
+
+// Degeneracy returns the degeneracy of g: the smallest d such that every
+// subgraph has a vertex of degree <= d. It satisfies a <= d <= 2a-1 where a
+// is the arboricity, so it certifies arboricity up to a factor of two.
+// Runs in O(n + m) via the standard bucketed peeling.
+func Degeneracy(g *Graph) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	deg := make([]int32, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(v))
+		if int(deg[v]) > maxDeg {
+			maxDeg = int(deg[v])
+		}
+	}
+	// Bucket queue keyed by current degree.
+	bucketHead := make([]int32, maxDeg+2)
+	next := make([]int32, n)
+	prev := make([]int32, n)
+	for i := range bucketHead {
+		bucketHead[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		d := deg[v]
+		next[v] = bucketHead[d]
+		prev[v] = -1
+		if bucketHead[d] >= 0 {
+			prev[bucketHead[d]] = int32(v)
+		}
+		bucketHead[d] = int32(v)
+	}
+	removeFromBucket := func(v int32) {
+		d := deg[v]
+		if prev[v] >= 0 {
+			next[prev[v]] = next[v]
+		} else {
+			bucketHead[d] = next[v]
+		}
+		if next[v] >= 0 {
+			prev[next[v]] = prev[v]
+		}
+	}
+	removed := make([]bool, n)
+	degeneracy := 0
+	cur := 0
+	for peeled := 0; peeled < n; peeled++ {
+		for cur > 0 && bucketHead[cur-1] >= 0 {
+			cur-- // a neighbor removal may have lowered some degree
+		}
+		for bucketHead[cur] < 0 {
+			cur++
+		}
+		v := bucketHead[cur]
+		removeFromBucket(v)
+		removed[v] = true
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for _, w := range g.Neighbors(int(v)) {
+			if !removed[w] {
+				removeFromBucket(w)
+				deg[w]--
+				d := deg[w]
+				next[w] = bucketHead[d]
+				prev[w] = -1
+				if bucketHead[d] >= 0 {
+					prev[bucketHead[d]] = w
+				}
+				bucketHead[d] = w
+			}
+		}
+	}
+	return degeneracy
+}
+
+// DegeneracyOrder returns a peeling order and the degeneracy: position[v]
+// is v's index in the elimination order, and every vertex has at most
+// degeneracy neighbors later in the order.
+func DegeneracyOrder(g *Graph) (order []int32, degeneracy int) {
+	n := g.N()
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	removed := make([]bool, n)
+	order = make([]int32, 0, n)
+	for len(order) < n {
+		best, bestDeg := -1, n+1
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		if bestDeg > degeneracy {
+			degeneracy = bestDeg
+		}
+		removed[best] = true
+		order = append(order, int32(best))
+		for _, w := range g.Neighbors(best) {
+			if !removed[w] {
+				deg[w]--
+			}
+		}
+	}
+	return order, degeneracy
+}
+
+// NashWilliamsLowerBound returns a lower bound on the arboricity: the
+// maximum over traversed subgraphs H of ceil(|E(H)| / (|V(H)|-1)), sampled
+// on the whole graph and on cores obtained by peeling. (Exact arboricity
+// needs matroid machinery; the bound pairs with Degeneracy to bracket it.)
+func NashWilliamsLowerBound(g *Graph) int {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	best := ceilDiv(g.M(), n-1)
+	// Peel low-degree vertices progressively and re-evaluate the density of
+	// each core.
+	deg := make([]int, n)
+	alive := n
+	edges := g.M()
+	removed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	for alive > 2 {
+		// Remove all vertices of minimum degree in one sweep.
+		minDeg := n
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < minDeg {
+				minDeg = deg[v]
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] == minDeg {
+				removed[v] = true
+				alive--
+				for _, w := range g.Neighbors(v) {
+					if !removed[w] {
+						deg[w]--
+						edges--
+					}
+				}
+			}
+		}
+		if alive >= 2 {
+			if d := ceilDiv(edges, alive-1); d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Components labels connected components; comp[v] is the component index
+// of v and the second result is the number of components.
+func Components(g *Graph) (comp []int32, count int) {
+	n := g.N()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = int32(count)
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(int(u)) {
+				if comp[w] < 0 {
+					comp[w] = int32(count)
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// BFS returns distances from src (-1 for unreachable vertices).
+func BFS(g *Graph, src int) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(int(u)) {
+			if dist[w] < 0 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the largest finite BFS distance from src.
+func Eccentricity(g *Graph, src int) int {
+	ecc := 0
+	for _, d := range BFS(g, src) {
+		if int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vavg/internal/engine"
+)
+
+func TestFromResultAndMedian(t *testing.T) {
+	res := &engine.Result{
+		Rounds:         []int32{1, 2, 3, 4},
+		RoundSum:       10,
+		TotalRounds:    4,
+		Messages:       7,
+		ActivePerRound: []int{4, 3, 2, 1},
+	}
+	r := FromResult("alg", "g", 4, 6, 2, 9, res)
+	if r.VertexAvg != 2.5 || r.WorstCase != 4 || r.Colors != -1 {
+		t.Errorf("FromResult wrong: %+v", r)
+	}
+
+	runs := []Run{
+		{VertexAvg: 1, WorstCase: 10, Colors: 5},
+		{VertexAvg: 3, WorstCase: 30, Colors: 7},
+		{VertexAvg: 2, WorstCase: 20, Colors: 6},
+	}
+	m := Median(runs)
+	if m.VertexAvg != 2 || m.WorstCase != 20 || m.Colors != 6 {
+		t.Errorf("Median wrong: %+v", m)
+	}
+	if Median(nil).VertexAvg != 0 {
+		t.Error("Median of empty should be zero value")
+	}
+	even := Median(runs[:2])
+	if even.VertexAvg != 2 {
+		t.Errorf("even median = %v, want mean of middle pair", even.VertexAvg)
+	}
+}
+
+func TestGrowthExponent(t *testing.T) {
+	// y = x^2 fits exponent 2.
+	xs := []float64{2, 4, 8, 16}
+	ys := []float64{4, 16, 64, 256}
+	if e := GrowthExponent(xs, ys); math.Abs(e-2) > 1e-9 {
+		t.Errorf("exponent = %v, want 2", e)
+	}
+	// Constant series fits ~0.
+	if e := GrowthExponent(xs, []float64{5, 5, 5, 5}); math.Abs(e) > 1e-9 {
+		t.Errorf("constant exponent = %v, want 0", e)
+	}
+	if !math.IsNaN(GrowthExponent(xs, ys[:2])) {
+		t.Error("mismatched lengths should give NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, []string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "22"},
+	})
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	// Columns aligned: "value" column starts at the same offset in rows.
+	idx := strings.Index(lines[0], "value")
+	if lines[2][idx:idx+1] != "1" && lines[3][idx:idx+1] != "1" {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestDecayTable(t *testing.T) {
+	var sb strings.Builder
+	DecayTable(&sb, []int{100, 50, 25}, 100, 2)
+	out := sb.String()
+	if !strings.Contains(out, "Lemma 6.1") || !strings.Contains(out, "25") {
+		t.Errorf("decay table missing content:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.234) != "1.23" || I(7) != "7" {
+		t.Error("formatters wrong")
+	}
+}

@@ -1,0 +1,138 @@
+package vavg
+
+import (
+	"strings"
+	"testing"
+
+	"vavg/internal/graph"
+)
+
+// awkwardGraphs are degenerate shapes every general algorithm must survive:
+// a single vertex, a single edge, isolated vertices, and multiple
+// components of different densities.
+func awkwardGraphs() []*Graph {
+	single := graph.FromEdges(1, nil)
+	single.Name = "single-vertex"
+	single.ArborBound = 1
+
+	edge := graph.FromEdges(2, []Edge{{U: 0, V: 1}})
+	edge.Name = "single-edge"
+	edge.ArborBound = 1
+
+	isolated := graph.FromEdges(6, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	isolated.Name = "isolated-vertices"
+	isolated.ArborBound = 1
+
+	b := graph.NewBuilder(12)
+	// Component 1: triangle. Component 2: path. Vertices 7..11 isolated.
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	multi := b.Build()
+	multi.Name = "multi-component"
+	multi.ArborBound = 2
+
+	return []*Graph{single, edge, isolated, multi}
+}
+
+// TestRegistryOnAwkwardGraphs runs every general algorithm (everything
+// except the ring-specific references) on the degenerate shapes and
+// demands validated outputs.
+func TestRegistryOnAwkwardGraphs(t *testing.T) {
+	for _, alg := range Algorithms() {
+		if strings.Contains(alg.Name, "ring") || alg.Kind == KindReference {
+			continue
+		}
+		alg := alg
+		for _, g := range awkwardGraphs() {
+			g := g
+			t.Run(alg.Name+"/"+g.Name, func(t *testing.T) {
+				if _, err := alg.Run(g, Params{Arboricity: g.ArborBound, MaxRounds: 1 << 16}); err != nil {
+					t.Errorf("%s on %s: %v", alg.Name, g.Name, err)
+				}
+			})
+		}
+	}
+}
+
+// TestRegistryOnDenseAndSkewedFamilies covers the stress families: a
+// clique embedded in a forest (dense core), a hypercube (log-arboricity),
+// and a random graph with only a degeneracy certificate.
+func TestRegistryOnDenseAndSkewedFamilies(t *testing.T) {
+	graphs := []*Graph{
+		CliquePlusForest(120, 12, 3),
+		Hypercube(6),
+		Gnm(150, 600, 5),
+	}
+	names := []string{"arblinial-o1", "a2-loglog", "mis", "matching", "edgecolor", "deltaplus1-det", "aloglog-rand"}
+	for _, g := range graphs {
+		for _, name := range names {
+			alg, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := alg.Run(g, Params{MaxRounds: 1 << 18}); err != nil {
+				t.Errorf("%s on %s: %v", name, g.Name, err)
+			}
+		}
+	}
+}
+
+// TestUnderestimatedArboricityAborts documents the failure mode of lying
+// about the arboricity: with a threshold below the true density, Procedure
+// Partition can stall and the engine's round guard must fire rather than
+// hang.
+func TestUnderestimatedArboricityAborts(t *testing.T) {
+	g := Clique(32) // arboricity 16
+	alg, _ := ByName("partition")
+	_, err := alg.Run(g, Params{Arboricity: 2, Eps: 0.5, MaxRounds: 2000})
+	if err == nil {
+		t.Fatal("expected partition with a gross arboricity underestimate to fail")
+	}
+}
+
+// TestGeneralPartitionSurvivesUnknownArboricity contrasts the above: the
+// doubling-threshold variant needs no estimate at all.
+func TestGeneralPartitionSurvivesUnknownArboricity(t *testing.T) {
+	g := Clique(32)
+	alg, _ := ByName("general-partition")
+	rep, err := alg.Run(g, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorstCase <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+// TestCommitReporting checks the Feuilloley-first-definition plumbing end
+// to end on the leader election reference.
+func TestCommitReporting(t *testing.T) {
+	g := RingShuffled(128, 7)
+	p := Params{Arboricity: 2, MaxRounds: 1 << 16}
+	res, err := Simulate(g, mustProgram(t, "leader-ring", p), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommitAverage() >= float64(res.MaxCommit()) {
+		t.Errorf("commit average %.1f not below max %d", res.CommitAverage(), res.MaxCommit())
+	}
+	// Vertices that never call Commit default to their termination round.
+	for v, c := range res.CommitRounds {
+		if c == 0 || c > res.Rounds[v] {
+			t.Fatalf("vertex %d commit round %d out of range (terminated %d)", v, c, res.Rounds[v])
+		}
+	}
+}
+
+func mustProgram(t *testing.T, name string, p Params) Program {
+	t.Helper()
+	alg, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alg.program(p.withDefaults(nil))
+}

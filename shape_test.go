@@ -1,0 +1,58 @@
+package vavg
+
+import "testing"
+
+// TestVertexAveragedShapes is the reproduction gate for the paper's
+// headline claims: across an 8x growth in n, the vertex-averaged
+// complexity of every "improved" algorithm must stay essentially flat
+// (their bounds are O(1), O(loglog n) or O(log* n), none of which moves
+// measurably in this range), while the worst-case baselines must grow by
+// at least one round (their Theta(log n) behavior adds three doubling
+// levels). A regression in any algorithm's round accounting or scheduling
+// shows up here as a shape violation.
+func TestVertexAveragedShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape sweep is not short")
+	}
+	const (
+		nSmall = 1024
+		nLarge = 8192
+		a      = 3
+	)
+	run := func(name string, n int) float64 {
+		t.Helper()
+		alg, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := ForestUnion(n, a, int64(n))
+		rep, err := alg.Run(g, Params{Arboricity: a, MaxRounds: 1 << 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.VertexAvg
+	}
+
+	flat := []string{
+		"partition", "forest-decomp", "arblinial-o1", "a2-loglog",
+		"ka2", "deltaplus1-det", "mis", "edgecolor", "matching",
+		"deltaplus1-rand", "aloglog-rand", "a-loglog", "ka", "one-plus-eta",
+		"general-partition",
+	}
+	for _, name := range flat {
+		small, large := run(name, nSmall), run(name, nLarge)
+		// Allow 10% plus two rounds of slack for loglog/log* growth and
+		// randomized noise.
+		if large > small*1.10+2 {
+			t.Errorf("%s: vertex average grew %.2f -> %.2f across 8x n (want flat shape)", name, small, large)
+		}
+	}
+
+	growing := []string{"forest-decomp-wc", "arblinial-wc", "iterated-arblinial-wc", "arbcolor-wc", "mis-wc", "legal-coloring-wc"}
+	for _, name := range growing {
+		small, large := run(name, nSmall), run(name, nLarge)
+		if large < small+1 {
+			t.Errorf("%s: baseline did not grow (%.2f -> %.2f); expected Theta(log n) shape", name, small, large)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package vavg
+
+import (
+	"fmt"
+
+	"vavg/internal/engine"
+	"vavg/internal/extend"
+	"vavg/internal/metrics"
+)
+
+// The simulator's vertex-side types, re-exported so downstream users can
+// write their own vertex programs against the LOCAL model and measure
+// their vertex-averaged complexity with the same accounting as the
+// paper's algorithms.
+type (
+	// API is the per-vertex interface of the simulator: identity,
+	// neighborhood, per-round message exchange, deterministic randomness.
+	API = engine.API
+	// Program is per-vertex code; its return value is the vertex output,
+	// broadcast to neighbors in one final counted round.
+	Program = engine.Program
+	// Msg is a received message.
+	Msg = engine.Msg
+	// Final is the payload of a terminating neighbor's last broadcast.
+	Final = engine.Final
+	// SimResult is the raw engine outcome with per-vertex round counts.
+	SimResult = engine.Result
+)
+
+// Simulate runs a custom vertex Program on g in the synchronous
+// message-passing model and returns the raw result; Report-style
+// accounting can be derived with NewReport.
+func Simulate(g *Graph, prog Program, p Params) (*SimResult, error) {
+	p = p.withDefaults(g)
+	return engine.Run(g, prog, engine.Options{Seed: p.Seed, MaxRounds: p.MaxRounds})
+}
+
+// NewReport derives the paper's measurements from a raw simulation result.
+func NewReport(name string, g *Graph, p Params, res *SimResult) Report {
+	p = p.withDefaults(g)
+	return metrics.FromResult(name, g.Name, g.N(), g.M(), p.Arboricity, p.Seed, res)
+}
+
+// ListColoring solves the (deg+1)-list-coloring problem of Section 8.2
+// through the general extension framework (Theorem 8.2): every vertex v
+// ends with a color from list(v), which must contain at least deg(v)+1
+// colors, adjacent vertices differ, and the vertex-averaged complexity is
+// a function of the arboricity rather than of Delta. The outputs are
+// validated before returning.
+func ListColoring(g *Graph, p Params, list func(v int) []int) (Report, []int, error) {
+	p = p.withDefaults(g)
+	res, err := Simulate(g, extend.ListColoring(p.Arboricity, p.Eps, list), p)
+	if err != nil {
+		return Report{}, nil, err
+	}
+	rep := NewReport("list-coloring", g, p, res)
+	cols := extend.Colors(res.Output)
+	rep.Colors = len(distinctInts(cols))
+	if !p.SkipValidation {
+		if err := auditListColoring(g, cols, list); err != nil {
+			return rep, cols, err
+		}
+	}
+	return rep, cols, nil
+}
+
+func distinctInts(xs []int) map[int]bool {
+	m := map[int]bool{}
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}
+
+func auditListColoring(g *Graph, cols []int, list func(v int) []int) error {
+	for v, c := range cols {
+		ok := false
+		for _, lc := range list(v) {
+			if lc == c {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("vavg: vertex %d color %d outside its list", v, c)
+		}
+		for _, w := range g.Neighbors(v) {
+			if cols[w] == c {
+				return fmt.Errorf("vavg: edge {%d,%d} monochromatic", v, w)
+			}
+		}
+	}
+	return nil
+}

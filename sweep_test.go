@@ -1,0 +1,72 @@
+package vavg
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSweepShapesAndSerialization(t *testing.T) {
+	gen := func(n int) *Graph { return ForestUnion(n, 2, int64(n)) }
+	sizes := []int{512, 2048, 8192}
+
+	flat, err := ByName("arblinial-o1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := Sweep(flat, gen, sizes, []int64{1}, Params{Arboricity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sf.Points) != 3 {
+		t.Fatalf("points = %d", len(sf.Points))
+	}
+	if e := sf.VertexAvgGrowth(); e > 0.15 {
+		t.Errorf("flat algorithm fitted growth exponent %.3f, want ~0", e)
+	}
+
+	wc, err := ByName("arblinial-wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := Sweep(wc, gen, sizes, []int64{1}, Params{Arboricity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := sw.VertexAvgGrowth(); e < 0.5 {
+		t.Errorf("log-n baseline fitted growth exponent %.3f, want near 1", e)
+	}
+
+	// CSV round-trip sanity.
+	var csvBuf bytes.Buffer
+	if err := sf.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 4 || !strings.HasPrefix(lines[0], "algorithm,") {
+		t.Errorf("csv malformed:\n%s", csvBuf.String())
+	}
+
+	// JSON round-trip.
+	var jsonBuf bytes.Buffer
+	if err := sf.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var back SweepResult
+	if err := json.Unmarshal(jsonBuf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != "arblinial-o1" || len(back.Points) != 3 {
+		t.Errorf("json round-trip lost data: %+v", back)
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	alg, _ := ByName("partition")
+	gen := func(n int) *Graph { return Clique(32) }
+	// Gross arboricity underestimate must surface as an error.
+	if _, err := Sweep(alg, gen, []int{32}, []int64{1}, Params{Arboricity: 1, Eps: 0.5, MaxRounds: 500}); err == nil {
+		t.Fatal("expected sweep error")
+	}
+}

@@ -1,0 +1,246 @@
+// Package vavg is a Go implementation of "Brief Announcement: Distributed
+// Symmetry-Breaking with Improved Vertex-Averaged Complexity" (Barenboim &
+// Tzur, SPAA 2018): distributed symmetry-breaking algorithms — vertex
+// coloring, maximal independent set, edge coloring, maximal matching —
+// whose vertex-averaged round complexity (the sum over all vertices of the
+// rounds until each terminates, divided by n) is asymptotically below the
+// best possible worst-case complexity.
+//
+// The package simulates the static synchronous message-passing (LOCAL)
+// model with one goroutine per vertex and exact per-vertex termination
+// accounting. Every algorithm from the paper is available through the
+// Algorithms registry together with the classical worst-case baselines its
+// tables compare against:
+//
+//	g := vavg.ForestUnion(10000, 3, 1)       // arboricity <= 3
+//	alg, _ := vavg.ByName("mis")             // Corollary 8.4
+//	rep, err := alg.Run(g, vavg.Params{Arboricity: 3})
+//	fmt.Println(rep.VertexAvg, rep.WorstCase)
+//
+// See DESIGN.md for the full paper-to-module inventory and EXPERIMENTS.md
+// for the reproduced tables.
+package vavg
+
+import (
+	"fmt"
+
+	"vavg/internal/check"
+	"vavg/internal/engine"
+	"vavg/internal/forest"
+	"vavg/internal/graph"
+	"vavg/internal/hpartition"
+	"vavg/internal/metrics"
+)
+
+// Graph is the immutable input graph; see the generator functions.
+type Graph = graph.Graph
+
+// Edge is an undirected edge with U < V.
+type Edge = graph.Edge
+
+// Report records the measurements of one run.
+type Report = metrics.Run
+
+// Kind classifies an algorithm's output for validation and reporting.
+type Kind int
+
+// Algorithm output kinds.
+const (
+	KindVertexColoring Kind = iota
+	KindEdgeColoring
+	KindMIS
+	KindMatching
+	KindForest
+	KindPartition
+	KindReference
+)
+
+// Params configures a run. The zero value selects sensible defaults:
+// eps=2, k=2, C=4, the graph's certified arboricity bound, seed 1.
+type Params struct {
+	// Arboricity passed to the algorithms (the paper assumes it is known);
+	// 0 means use the graph's certified bound, falling back to degeneracy.
+	Arboricity int
+	// Eps is the Procedure Partition slack in (0, 2]; 0 means 2.
+	Eps float64
+	// K is the segment count for the Section 7.5 scheme; 0 means 2.
+	K int
+	// C is the Section 7.8 recursion constant; 0 means 4.
+	C int
+	// Seed drives the deterministic per-vertex PRNGs; 0 means 1.
+	Seed int64
+	// MaxRounds guards against livelock; 0 means a generous default.
+	MaxRounds int
+	// SkipValidation disables output checking (benchmarks).
+	SkipValidation bool
+}
+
+func (p Params) withDefaults(g *Graph) Params {
+	if p.Eps == 0 {
+		p.Eps = 2
+	}
+	if p.K == 0 {
+		p.K = 2
+	}
+	if p.C == 0 {
+		p.C = 4
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Arboricity == 0 {
+		p.Arboricity = g.ArborBound
+		if p.Arboricity == 0 {
+			p.Arboricity = graph.Degeneracy(g)
+		}
+	}
+	if p.Arboricity < 1 {
+		p.Arboricity = 1
+	}
+	if p.MaxRounds == 0 {
+		p.MaxRounds = 1 << 21
+	}
+	return p
+}
+
+// Algorithm is a runnable entry of the registry.
+type Algorithm struct {
+	// Name is the registry key.
+	Name string
+	// Description summarizes the algorithm.
+	Description string
+	// Paper locates it in the paper ("§7.2", "Cor 8.4", "baseline", ...).
+	Paper string
+	// Kind classifies the output.
+	Kind Kind
+	// Deterministic reports whether the bounds are deterministic or hold
+	// w.h.p.
+	Deterministic bool
+	// VertexAvgBound and ColorBound are the theoretical bounds as printed
+	// in the paper's tables (for reports).
+	VertexAvgBound string
+	// ColorBound is the palette bound as a formula string, if a coloring.
+	ColorBound string
+	// Palette returns the concrete palette budget for validation, or 0 to
+	// skip the budget audit.
+	Palette func(n int, p Params) int
+	// program builds the per-vertex program.
+	program func(p Params) engine.Program
+}
+
+// Run executes the algorithm on g, validates the output (unless
+// disabled), and reports the paper's measures.
+func (alg Algorithm) Run(g *Graph, p Params) (Report, error) {
+	p = p.withDefaults(g)
+	res, err := engine.Run(g, alg.program(p), engine.Options{Seed: p.Seed, MaxRounds: p.MaxRounds})
+	if err != nil {
+		return Report{}, fmt.Errorf("vavg: %s on %s: %w", alg.Name, g.Name, err)
+	}
+	rep := metrics.FromResult(alg.Name, g.Name, g.N(), g.M(), p.Arboricity, p.Seed, res)
+	if err := alg.audit(g, p, res, &rep); err != nil && !p.SkipValidation {
+		return rep, fmt.Errorf("vavg: %s on %s: %w", alg.Name, g.Name, err)
+	}
+	return rep, nil
+}
+
+// audit validates outputs by kind and fills the problem-specific report
+// fields.
+func (alg Algorithm) audit(g *Graph, p Params, res *engine.Result, rep *Report) error {
+	switch alg.Kind {
+	case KindVertexColoring:
+		cols := make([]int, g.N())
+		for v, o := range res.Output {
+			c, ok := o.(int)
+			if !ok {
+				return fmt.Errorf("vertex %d output %T, want int", v, o)
+			}
+			cols[v] = c
+		}
+		rep.Colors = check.CountColors(cols)
+		budget := 0
+		if alg.Palette != nil {
+			budget = alg.Palette(g.N(), p)
+		}
+		return check.VertexColoring(g, cols, budget)
+	case KindEdgeColoring:
+		colors, err := collectEdgeColors(g, res.Output)
+		if err != nil {
+			return err
+		}
+		distinct := map[int]bool{}
+		for _, c := range colors {
+			distinct[c] = true
+		}
+		rep.Colors = len(distinct)
+		budget := 0
+		if alg.Palette != nil {
+			budget = alg.Palette(g.N(), p)
+		}
+		if budget == 0 {
+			budget = 2*g.MaxDegree() - 1
+		}
+		return check.EdgeColoring(g, colors, budget)
+	case KindMIS:
+		in := make([]bool, g.N())
+		size := 0
+		for v, o := range res.Output {
+			b, ok := o.(bool)
+			if !ok {
+				return fmt.Errorf("vertex %d output %T, want bool", v, o)
+			}
+			in[v] = b
+			if b {
+				size++
+			}
+		}
+		rep.Size = size
+		return check.MIS(g, in)
+	case KindMatching:
+		m := make([]int32, g.N())
+		size := 0
+		for v, o := range res.Output {
+			w, ok := o.(int32)
+			if !ok {
+				return fmt.Errorf("vertex %d output %T, want int32", v, o)
+			}
+			m[v] = w
+			if w >= 0 {
+				size++
+			}
+		}
+		rep.Size = size / 2
+		return check.MaximalMatching(g, m)
+	case KindForest:
+		orient, labels, err := forest.Collect(g, res.Output)
+		if err != nil {
+			return err
+		}
+		maxLabel := 0
+		for _, l := range labels {
+			if l > maxLabel {
+				maxLabel = l
+			}
+		}
+		rep.Colors = maxLabel
+		return check.ForestDecomposition(g, orient, labels, hpartition.ParamA(p.Arboricity, p.Eps))
+	case KindPartition:
+		h := make([]int, g.N())
+		maxLater := hpartition.ParamA(p.Arboricity, p.Eps)
+		for v, o := range res.Output {
+			switch j := o.(type) {
+			case hpartition.Join:
+				h[v] = int(j.Index)
+			case hpartition.GeneralJoin:
+				h[v] = int(j.Index)
+				if t := hpartition.GeneralThreshold(int(j.Phase), p.Eps); t > maxLater {
+					maxLater = t
+				}
+			default:
+				return fmt.Errorf("vertex %d output %T, want a Join", v, o)
+			}
+		}
+		return check.HPartition(g, h, maxLater)
+	default:
+		return nil
+	}
+}
