@@ -1,0 +1,133 @@
+package vavg
+
+import (
+	"math"
+	"reflect"
+	gort "runtime"
+	"strings"
+	"testing"
+
+	"vavg/internal/engine"
+	"vavg/internal/graph"
+)
+
+// TestCrossBackendEquivalenceRegistry is the deliverable contract of the
+// pluggable-backend engine: for every registered algorithm on every graph
+// family, identical seeds must yield byte-identical engine Results —
+// rounds, commitments, outputs, active-set decay, message counts — on the
+// "goroutines" and "pool" backends. Backends are execution strategies, not
+// semantics.
+func TestCrossBackendEquivalenceRegistry(t *testing.T) {
+	oldProcs := gort.GOMAXPROCS(4) // force multi-shard pool runs
+	defer gort.GOMAXPROCS(oldProcs)
+
+	families := []struct {
+		name string
+		gen  func() *Graph
+		a    int
+	}{
+		{"ring", func() *Graph { return Ring(160) }, 2},
+		{"forests", func() *Graph { return ForestUnion(160, 3, 7) }, 3},
+		{"starforest", func() *Graph { return StarForest(160, 16) }, 2},
+		{"trigrid", func() *Graph { return TriangulatedGrid(12, 12) }, 3},
+		{"tree", func() *Graph { return RandomTree(160, 5) }, 1},
+		{"gnm", func() *Graph { return Gnm(140, 420, 9) }, 0},
+	}
+	for _, alg := range Algorithms() {
+		ringOnly := strings.Contains(alg.Name, "ring") || alg.Kind == KindReference
+		for _, fam := range families {
+			if ringOnly && fam.name != "ring" {
+				continue
+			}
+			if testing.Short() && fam.name != "ring" && fam.name != "forests" {
+				continue
+			}
+			alg, fam := alg, fam
+			t.Run(alg.Name+"/"+fam.name, func(t *testing.T) {
+				t.Parallel()
+				g := fam.gen()
+				p := Params{Arboricity: fam.a, Seed: 11, MaxRounds: 1 << 21}.withDefaults(g)
+				prog := alg.program(p)
+				var results []*engine.Result
+				for _, backend := range engine.Backends() {
+					res, err := engine.Run(g, prog, engine.Options{
+						Seed: p.Seed, MaxRounds: p.MaxRounds, Backend: backend,
+					})
+					if err != nil {
+						t.Fatalf("backend %s: %v", backend, err)
+					}
+					results = append(results, res)
+				}
+				base := results[0]
+				for i, res := range results[1:] {
+					if !reflect.DeepEqual(base, res) {
+						t.Errorf("backend %s Result differs from %s:\n rounds eq=%v outputs eq=%v active eq=%v messages %d vs %d",
+							engine.Backends()[i+1], engine.Backends()[0],
+							reflect.DeepEqual(base.Rounds, res.Rounds),
+							reflect.DeepEqual(base.Output, res.Output),
+							reflect.DeepEqual(base.ActivePerRound, res.ActivePerRound),
+							base.Messages, res.Messages)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPoolDecayShape re-runs the Lemma 6.1 assertions against the pool
+// backend: on the active-set scheduler too, Procedure Partition's active
+// set must decay within the geometric envelope n*(2/(2+eps))^i, and the
+// accounting identities RoundSum == sum(ActivePerRound) and
+// VertexAverage <= TotalRounds must hold exactly.
+func TestPoolDecayShape(t *testing.T) {
+	const (
+		n   = 4096
+		a   = 3
+		eps = 2.0
+	)
+	g := ForestUnion(n, a, 23)
+	alg, err := ByName("partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Arboricity: a, Seed: 5, MaxRounds: 1 << 21, Backend: "pool"}.withDefaults(g)
+	res, err := engine.Run(g, alg.program(p), engine.Options{Seed: p.Seed, MaxRounds: p.MaxRounds, Backend: "pool"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for i, act := range res.ActivePerRound {
+		sum += int64(act)
+		// One slack round: vertices pay a final output round after the
+		// partition decision, shifting the measured decay by one.
+		bound := float64(n) * math.Pow(2/(2+eps), math.Max(float64(i-1), 0))
+		if float64(act) > bound+1 {
+			t.Errorf("round %d: active %d exceeds Lemma 6.1 envelope %.1f", i+1, act, bound)
+		}
+	}
+	if sum != res.RoundSum {
+		t.Errorf("sum of ActivePerRound = %d, RoundSum = %d", sum, res.RoundSum)
+	}
+	if res.VertexAverage() > float64(res.TotalRounds) {
+		t.Errorf("VertexAverage %.2f exceeds TotalRounds %d", res.VertexAverage(), res.TotalRounds)
+	}
+}
+
+// TestParamsBackendSelection checks the façade plumbing: an explicit
+// unknown backend must surface as an error, and explicit valid choices
+// must run and validate.
+func TestParamsBackendSelection(t *testing.T) {
+	g := graph.ForestUnion(100, 2, 3)
+	alg, err := ByName("partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alg.Run(g, Params{Backend: "bogus"}); err == nil {
+		t.Error("unknown backend should fail")
+	}
+	for _, backend := range engine.Backends() {
+		if _, err := alg.Run(g, Params{Backend: backend}); err != nil {
+			t.Errorf("backend %s: %v", backend, err)
+		}
+	}
+}

@@ -28,6 +28,7 @@ func main() {
 		sizes = flag.String("sizes", "", "comma-separated graph sizes (default per experiment)")
 		seeds = flag.String("seeds", "", "comma-separated seeds (default 1,2,3)")
 		quick = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		jsonF = flag.Bool("json", false, "machine-readable JSON output (supported by -exp backends)")
 	)
 	flag.Parse()
 
@@ -38,7 +39,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{W: os.Stdout, Quick: *quick}
+	cfg := experiments.Config{W: os.Stdout, Quick: *quick, JSON: *jsonF}
 	var err error
 	if cfg.Sizes, err = parseInts(*sizes); err != nil {
 		fatal(err)
@@ -52,12 +53,17 @@ func main() {
 	}
 
 	run := func(e experiments.Experiment) {
-		fmt.Printf("== %s — %s\n   claim: %s\n", e.ID, e.Artifact, e.Claim)
+		// JSON mode keeps stdout clean for the machine-readable payload.
+		if !cfg.JSON {
+			fmt.Printf("== %s — %s\n   claim: %s\n", e.ID, e.Artifact, e.Claim)
+		}
 		start := time.Now()
 		if err := e.Run(cfg); err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
-		fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+		if !cfg.JSON {
+			fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+		}
 	}
 
 	if *exp == "all" {

@@ -22,18 +22,19 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list algorithms and exit")
-		algIn  = flag.String("alg", "forest-decomp", "algorithm name")
-		family = flag.String("graph", "forests", "graph family: forests|ring|star|starforest|grid|trigrid|tree|gnm|clique|hypercube")
-		n      = flag.Int("n", 4096, "number of vertices")
-		a      = flag.Int("a", 3, "arboricity parameter (and generator density)")
-		k      = flag.Int("k", 2, "segment count for the §7.5 scheme")
-		c      = flag.Int("c", 4, "constant C for §7.8")
-		eps    = flag.Float64("eps", 2, "partition slack in (0,2]")
-		seed   = flag.Int64("seed", 1, "run seed")
-		decay  = flag.Bool("decay", false, "print the active-vertex decay")
-		sweep  = flag.String("sweep", "", "comma-separated sizes: run a size sweep instead of a single run")
-		format = flag.String("format", "csv", "sweep output format: csv|json")
+		list    = flag.Bool("list", false, "list algorithms and exit")
+		algIn   = flag.String("alg", "forest-decomp", "algorithm name")
+		family  = flag.String("graph", "forests", "graph family: forests|ring|star|starforest|grid|trigrid|tree|gnm|clique|hypercube")
+		n       = flag.Int("n", 4096, "number of vertices")
+		a       = flag.Int("a", 3, "arboricity parameter (and generator density)")
+		k       = flag.Int("k", 2, "segment count for the §7.5 scheme")
+		c       = flag.Int("c", 4, "constant C for §7.8")
+		eps     = flag.Float64("eps", 2, "partition slack in (0,2]")
+		seed    = flag.Int64("seed", 1, "run seed")
+		backend = flag.String("backend", "", "engine backend: goroutines|pool|auto (default auto)")
+		decay   = flag.Bool("decay", false, "print the active-vertex decay")
+		sweep   = flag.String("sweep", "", "comma-separated sizes: run a size sweep instead of a single run")
+		format  = flag.String("format", "csv", "sweep output format: csv|json")
 	)
 	flag.Parse()
 
@@ -53,7 +54,7 @@ func main() {
 		fatal(err)
 	}
 	if *sweep != "" {
-		if err := runSweep(alg, *family, *sweep, *format, *a, *eps, *k, *c, *seed); err != nil {
+		if err := runSweep(alg, *family, *sweep, *format, *a, *eps, *k, *c, *seed, *backend); err != nil {
 			fatal(err)
 		}
 		return
@@ -63,7 +64,7 @@ func main() {
 		fatal(err)
 	}
 	rep, err := alg.Run(g, vavg.Params{
-		Arboricity: *a, Eps: *eps, K: *k, C: *c, Seed: *seed,
+		Arboricity: *a, Eps: *eps, K: *k, C: *c, Seed: *seed, Backend: *backend,
 	})
 	if err != nil {
 		fatal(err)
@@ -97,7 +98,7 @@ func main() {
 
 // runSweep measures the algorithm across a size sweep and emits CSV or
 // JSON suitable for plotting.
-func runSweep(alg vavg.Algorithm, family, sizesArg, format string, a int, eps float64, k, c int, seed int64) error {
+func runSweep(alg vavg.Algorithm, family, sizesArg, format string, a int, eps float64, k, c int, seed int64, backend string) error {
 	var sizes []int
 	for _, part := range strings.Split(sizesArg, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
@@ -113,7 +114,7 @@ func runSweep(alg vavg.Algorithm, family, sizesArg, format string, a int, eps fl
 		}
 		return g
 	}
-	res, err := vavg.Sweep(alg, gen, sizes, nil, vavg.Params{Arboricity: a, Eps: eps, K: k, C: c})
+	res, err := vavg.Sweep(alg, gen, sizes, nil, vavg.Params{Arboricity: a, Eps: eps, K: k, C: c, Backend: backend})
 	if err != nil {
 		return err
 	}

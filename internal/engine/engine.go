@@ -3,10 +3,16 @@
 // whose vertices are processors, unbounded-size messages to neighbors each
 // round, all vertices starting simultaneously in round 0.
 //
-// Each vertex runs as its own goroutine executing a Program; a coordinator
-// drives global synchronous rounds. Message delivery is lock-free: every
-// directed edge (u,v) has a dedicated slot written only by u and read only
-// by v, double-buffered across rounds.
+// The model semantics — rounds, per-directed-edge message slots,
+// termination accounting — live in the execution core under
+// internal/engine/exec, behind a Backend interface with two
+// implementations: "goroutines" (one goroutine per vertex driven by a
+// single coordinator) and "pool" (sharded workers with an active-set
+// scheduler that parks idle vertices for free and fast-forwards all-idle
+// rounds). Options.Backend selects one; by default runs below
+// exec.PoolThreshold vertices use "goroutines" and larger runs use
+// "pool". Backends are execution strategies only: equal seeds produce
+// byte-identical Results on every backend.
 //
 // Termination follows the paper's refinement of Feuilloley's definition:
 // when a Program returns its output, the engine broadcasts that final
@@ -18,369 +24,54 @@
 package engine
 
 import (
-	"errors"
-	"fmt"
-	"math/rand"
-	"sync"
-
+	"vavg/internal/engine/exec"
 	"vavg/internal/graph"
 )
 
-// Msg is a message received from a neighbor.
-type Msg struct {
-	// From is the sender's vertex ID.
-	From int32
-	// Data is the payload. A payload of type Final is the sender's
-	// termination announcement.
-	Data any
-}
+// The vertex-side model types are defined by the execution core; the
+// aliases keep algorithm packages independent of the backend split.
+type (
+	// Msg is a message received from a neighbor.
+	Msg = exec.Msg
+	// Final is the payload automatically broadcast by a vertex in its
+	// last round; Output is the value the vertex's Program returned.
+	Final = exec.Final
+	// Program is the per-vertex code; the value it returns is the vertex
+	// output, broadcast to neighbors in one final counted round.
+	Program = exec.Program
+	// API is the interface a Program uses to act as its vertex.
+	API = exec.API
+	// Result reports the outcome and cost accounting of a run.
+	Result = exec.Result
+)
 
-// Final is the payload automatically broadcast by a vertex in its last
-// round; Output is the value the vertex's Program returned.
-type Final struct {
-	Output any
-}
-
-// Program is the per-vertex code. It runs concurrently with all other
-// vertices' Programs and may only interact with them through the API; the
-// value it returns is the vertex's output, broadcast to its neighbors in
-// one final counted round.
-type Program func(api *API) any
+// ErrMaxRounds is returned when a run exceeds Options.MaxRounds.
+var ErrMaxRounds = exec.ErrMaxRounds
 
 // Options configure a run.
 type Options struct {
 	// Seed seeds the per-vertex deterministic PRNGs. Two runs with equal
-	// seeds produce identical executions regardless of scheduling.
+	// seeds produce identical executions regardless of scheduling and of
+	// the chosen backend.
 	Seed int64
 	// MaxRounds aborts the run if the global round count exceeds it,
 	// guarding against livelocked programs. 0 means 4*(n + 64*log2(n) + 64).
 	MaxRounds int
+	// Backend selects the execution backend: "goroutines", "pool", or
+	// ""/"auto" to pick by graph size (pool at or above
+	// exec.PoolThreshold vertices).
+	Backend string
 }
 
-// Result reports the outcome and cost accounting of a run.
-type Result struct {
-	// Rounds[v] is the number of rounds vertex v participated in before
-	// terminating (including its final-output round).
-	Rounds []int32
-	// CommitRounds[v] is the round in which v committed its output via
-	// API.Commit — Feuilloley's first definition, under which a vertex may
-	// keep computing and relaying after fixing its output. For vertices
-	// that never called Commit it equals Rounds[v].
-	CommitRounds []int32
-	// Output[v] is the value v's Program returned.
-	Output []any
-	// TotalRounds is the worst-case complexity of the run: max_v Rounds[v].
-	TotalRounds int
-	// RoundSum is sum_v Rounds[v].
-	RoundSum int64
-	// ActivePerRound[i] is the number of vertices active in round i+1.
-	ActivePerRound []int
-	// Messages is the total number of point-to-point messages delivered.
-	Messages int64
-}
-
-// VertexAverage returns RoundSum / n, the paper's vertex-averaged
-// complexity of the execution.
-func (r *Result) VertexAverage() float64 {
-	if len(r.Rounds) == 0 {
-		return 0
-	}
-	return float64(r.RoundSum) / float64(len(r.Rounds))
-}
-
-// CommitAverage returns the node-averaged complexity under Feuilloley's
-// first definition: the mean of the per-vertex output-commitment rounds.
-func (r *Result) CommitAverage() float64 {
-	if len(r.CommitRounds) == 0 {
-		return 0
-	}
-	var sum int64
-	for _, c := range r.CommitRounds {
-		sum += int64(c)
-	}
-	return float64(sum) / float64(len(r.CommitRounds))
-}
-
-// MaxCommit returns the largest per-vertex commitment round.
-func (r *Result) MaxCommit() int {
-	m := 0
-	for _, c := range r.CommitRounds {
-		if int(c) > m {
-			m = int(c)
-		}
-	}
-	return m
-}
-
-// ErrMaxRounds is returned when a run exceeds Options.MaxRounds.
-var ErrMaxRounds = errors.New("engine: exceeded maximum round count")
-
-type cell struct {
-	data any
-	has  bool
-}
-
-type engineState struct {
-	g        *graph.Graph
-	bufA     []cell // double-buffered directed-edge slots
-	bufB     []cell
-	sendBuf  []cell // written during the current round
-	recvBuf  []cell // holds the previous round's messages
-	wg       sync.WaitGroup
-	wake     []chan struct{}
-	done     []bool // set by a vertex when it terminates (read after wg.Wait)
-	rounds   []int32
-	commits  []int32
-	output   []any
-	msgCount []int64
-	panics   []any
-	aborted  bool
-	seed     int64
-}
-
-// API is the interface a Program uses to act as its vertex. All methods
-// must be called only from the Program's own goroutine.
-type API struct {
-	eng    *engineState
-	v      int32
-	rng    *rand.Rand
-	outbox map[int32]any // pending sends keyed by directed-edge slot
-	round  int32
-}
-
-// Run executes prog on every vertex of g until all vertices terminate.
+// Run executes prog on every vertex of g until all vertices terminate,
+// on the backend selected by opts.Backend.
 func Run(g *graph.Graph, prog Program, opts Options) (*Result, error) {
-	n := g.N()
-	maxRounds := opts.MaxRounds
-	if maxRounds == 0 {
-		lg := 1
-		for 1<<lg < n+2 {
-			lg++
-		}
-		maxRounds = 4*n + 256*lg + 256
+	b, err := exec.Select(opts.Backend, g.N())
+	if err != nil {
+		return nil, err
 	}
-	eng := &engineState{
-		g:        g,
-		bufA:     make([]cell, len(g.Adj)),
-		bufB:     make([]cell, len(g.Adj)),
-		wake:     make([]chan struct{}, n),
-		done:     make([]bool, n),
-		rounds:   make([]int32, n),
-		commits:  make([]int32, n),
-		output:   make([]any, n),
-		msgCount: make([]int64, n),
-		panics:   make([]any, n),
-		seed:     opts.Seed,
-	}
-	eng.sendBuf, eng.recvBuf = eng.bufA, eng.bufB
-	for v := 0; v < n; v++ {
-		eng.wake[v] = make(chan struct{}, 1)
-	}
-
-	eng.wg.Add(n)
-	for v := 0; v < n; v++ {
-		go runVertex(eng, int32(v), prog)
-	}
-
-	active := make([]int32, n)
-	for v := range active {
-		active[v] = int32(v)
-	}
-	var activePerRound []int
-	round := 0
-	for {
-		round++
-		activePerRound = append(activePerRound, len(active))
-		eng.wg.Wait() // all active vertices finished this round
-
-		// Drop vertices that terminated this round.
-		live := active[:0]
-		for _, v := range active {
-			if !eng.done[v] {
-				live = append(live, v)
-			}
-		}
-		active = live
-		if len(active) == 0 {
-			break
-		}
-		if round >= maxRounds && !eng.aborted {
-			eng.aborted = true
-		}
-		// Swap buffers: what was sent this round becomes receivable.
-		eng.sendBuf, eng.recvBuf = eng.recvBuf, eng.sendBuf
-		eng.wg.Add(len(active))
-		for _, v := range active {
-			eng.wake[v] <- struct{}{}
-		}
-	}
-
-	for v := 0; v < n; v++ {
-		if p := eng.panics[v]; p != nil {
-			if eng.aborted {
-				if _, ok := p.(abortSentinel); ok {
-					continue
-				}
-			}
-			return nil, fmt.Errorf("engine: vertex %d panicked: %v", v, p)
-		}
-	}
-	if eng.aborted {
-		return nil, fmt.Errorf("%w (%d rounds)", ErrMaxRounds, maxRounds)
-	}
-
-	res := &Result{
-		Rounds:         eng.rounds,
-		CommitRounds:   eng.commits,
-		Output:         eng.output,
-		ActivePerRound: activePerRound,
-	}
-	for v := 0; v < n; v++ {
-		if res.CommitRounds[v] == 0 {
-			res.CommitRounds[v] = res.Rounds[v]
-		}
-	}
-	for v := 0; v < n; v++ {
-		if int(eng.rounds[v]) > res.TotalRounds {
-			res.TotalRounds = int(eng.rounds[v])
-		}
-		res.RoundSum += int64(eng.rounds[v])
-		res.Messages += eng.msgCount[v]
-	}
-	return res, nil
+	return b.Run(g, prog, exec.Config{Seed: opts.Seed, MaxRounds: opts.MaxRounds})
 }
 
-type abortSentinel struct{}
-
-func runVertex(eng *engineState, v int32, prog Program) {
-	api := &API{
-		eng: eng,
-		v:   v,
-		rng: rand.New(rand.NewSource(eng.seed ^ (int64(v)+1)*0x9e3779b97f4a7c)),
-	}
-	defer func() {
-		if p := recover(); p != nil {
-			eng.panics[v] = p
-			eng.done[v] = true
-			eng.wg.Done()
-		}
-	}()
-	out := prog(api)
-	// Final round: broadcast the output once, then terminate completely.
-	api.Broadcast(Final{Output: out})
-	api.flush()
-	api.round++
-	eng.rounds[v] = api.round
-	eng.output[v] = out
-	eng.done[v] = true
-	eng.wg.Done()
-}
-
-// ID returns this vertex's ID (also its identifier in the ID assignment).
-func (a *API) ID() int { return int(a.v) }
-
-// N returns the number of vertices in the graph; per the model, n is
-// global knowledge.
-func (a *API) N() int { return a.eng.g.N() }
-
-// Degree returns this vertex's degree in the input graph.
-func (a *API) Degree() int { return a.eng.g.Degree(int(a.v)) }
-
-// NeighborIDs returns this vertex's neighbor IDs in ascending order. The
-// slice aliases shared storage and must not be modified.
-func (a *API) NeighborIDs() []int32 { return a.eng.g.Neighbors(int(a.v)) }
-
-// Round returns the number of rounds this vertex has completed.
-func (a *API) Round() int { return int(a.round) }
-
-// NeighborIndex returns the position of vertex id within NeighborIDs, or
-// -1 if id is not a neighbor.
-func (a *API) NeighborIndex(id int32) int {
-	return a.eng.g.NeighborIndex(int(a.v), int(id))
-}
-
-// Rand returns this vertex's deterministic PRNG.
-func (a *API) Rand() *rand.Rand { return a.rng }
-
-// Commit records that this vertex has irrevocably chosen its output in
-// the current round, per Feuilloley's first definition: the vertex may
-// keep computing and relaying afterwards, but its commitment round — not
-// its termination round — is what CommitRounds reports. Only the first
-// call takes effect.
-func (a *API) Commit() {
-	if a.eng.commits[a.v] == 0 {
-		a.eng.commits[a.v] = a.round + 1
-	}
-}
-
-// Send queues data for the k-th neighbor (index into NeighborIDs); it is
-// delivered when the current round completes at the next Next call.
-// Sending again to the same neighbor in the same round overwrites.
-func (a *API) Send(k int, data any) {
-	if a.outbox == nil {
-		a.outbox = make(map[int32]any, a.Degree())
-	}
-	slot := a.eng.g.Rev[a.eng.g.Off[a.v]+int32(k)]
-	a.outbox[slot] = data
-}
-
-// SendID queues data for the neighbor with vertex ID nbr; it panics if nbr
-// is not a neighbor.
-func (a *API) SendID(nbr int, data any) {
-	k := a.eng.g.NeighborIndex(int(a.v), nbr)
-	if k < 0 {
-		panic(fmt.Sprintf("engine: vertex %d sending to non-neighbor %d", a.v, nbr))
-	}
-	a.Send(k, data)
-}
-
-// Broadcast queues data for every neighbor.
-func (a *API) Broadcast(data any) {
-	for k := 0; k < a.Degree(); k++ {
-		a.Send(k, data)
-	}
-}
-
-func (a *API) flush() {
-	for slot, data := range a.outbox {
-		a.eng.sendBuf[slot] = cell{data: data, has: true}
-		a.eng.msgCount[a.v]++
-	}
-	clear(a.outbox)
-}
-
-// Next completes the current round (delivering queued sends) and blocks
-// until the next synchronous round begins, returning the messages this
-// vertex received, ordered by neighbor index.
-func (a *API) Next() []Msg {
-	a.flush()
-	a.round++
-	a.eng.rounds[a.v] = a.round
-	a.eng.wg.Done()
-	<-a.eng.wake[a.v]
-	if a.eng.aborted {
-		panic(abortSentinel{})
-	}
-	g := a.eng.g
-	lo, hi := g.Off[a.v], g.Off[a.v+1]
-	var msgs []Msg
-	for p := lo; p < hi; p++ {
-		if a.eng.recvBuf[p].has {
-			msgs = append(msgs, Msg{From: g.Adj[p], Data: a.eng.recvBuf[p].data})
-			a.eng.recvBuf[p] = cell{}
-		}
-	}
-	return msgs
-}
-
-// Idle spends k counted rounds sending nothing and returns every message
-// received during them (in arrival order). Algorithms use it to wait out a
-// scheduled window while remaining active, exactly as waiting vertices do
-// in the paper's RoundSum accounting.
-func (a *API) Idle(k int) []Msg {
-	var all []Msg
-	for i := 0; i < k; i++ {
-		all = append(all, a.Next()...)
-	}
-	return all
-}
+// Backends lists the registered execution backends.
+func Backends() []string { return exec.Names() }

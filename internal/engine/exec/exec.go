@@ -1,0 +1,463 @@
+// Package exec is the execution core of the LOCAL-model simulator: it
+// separates the model's semantics — synchronous rounds, per-directed-edge
+// message slots, per-vertex termination accounting — from the mechanics of
+// how vertex turns are scheduled, which live behind the Backend interface.
+//
+// Two backends are provided:
+//
+//   - "goroutines": one goroutine per vertex driven by a single
+//     coordinator, the original engine. Simple, lowest constant overhead
+//     per active vertex, but every live vertex costs one wake and one
+//     barrier crossing per round even while it merely waits.
+//
+//   - "pool": vertices are partitioned into contiguous shards (one worker
+//     per GOMAXPROCS core) and scheduled by an explicit active-set
+//     scheduler. Vertices parked in Idle windows cost zero scheduler work
+//     until a message arrives for them or their window expires, rounds in
+//     which every live vertex is parked are fast-forwarded in O(1), and
+//     each round needs one synchronization per shard rather than per
+//     vertex. This is the backend that exploits the paper's Lemma 6.1:
+//     per-round cost tracks the number of *runnable* vertices, which
+//     decays exponentially, not n.
+//
+// Both backends execute byte-identical runs for equal seeds: all mutable
+// run state (PRNG streams, inbox order, round counters, message counts) is
+// per-vertex-indexed and independent of scheduling, which the
+// cross-backend equivalence tests enforce for every registered algorithm.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"vavg/internal/graph"
+)
+
+// Msg is a message received from a neighbor.
+type Msg struct {
+	// From is the sender's vertex ID.
+	From int32
+	// Data is the payload. A payload of type Final is the sender's
+	// termination announcement.
+	Data any
+}
+
+// Final is the payload automatically broadcast by a vertex in its last
+// round; Output is the value the vertex's Program returned.
+type Final struct {
+	Output any
+}
+
+// Program is the per-vertex code. It runs concurrently with all other
+// vertices' Programs and may only interact with them through the API; the
+// value it returns is the vertex's output, broadcast to its neighbors in
+// one final counted round.
+type Program func(api *API) any
+
+// Config configures one run on a backend.
+type Config struct {
+	// Seed seeds the per-vertex deterministic PRNGs. Two runs with equal
+	// seeds produce identical executions regardless of scheduling and of
+	// the backend used.
+	Seed int64
+	// MaxRounds aborts the run if the global round count exceeds it,
+	// guarding against livelocked programs. 0 means 4*(n + 64*log2(n) + 64).
+	MaxRounds int
+}
+
+func (c Config) maxRounds(n int) int {
+	if c.MaxRounds != 0 {
+		return c.MaxRounds
+	}
+	lg := 1
+	for 1<<lg < n+2 {
+		lg++
+	}
+	return 4*n + 256*lg + 256
+}
+
+// Result reports the outcome and cost accounting of a run.
+type Result struct {
+	// Rounds[v] is the number of rounds vertex v participated in before
+	// terminating (including its final-output round).
+	Rounds []int32
+	// CommitRounds[v] is the round in which v committed its output via
+	// API.Commit — Feuilloley's first definition, under which a vertex may
+	// keep computing and relaying after fixing its output. For vertices
+	// that never called Commit it equals Rounds[v].
+	CommitRounds []int32
+	// Output[v] is the value v's Program returned.
+	Output []any
+	// TotalRounds is the worst-case complexity of the run: max_v Rounds[v].
+	TotalRounds int
+	// RoundSum is sum_v Rounds[v].
+	RoundSum int64
+	// ActivePerRound[i] is the number of vertices active in round i+1.
+	ActivePerRound []int
+	// Messages is the total number of point-to-point messages delivered.
+	Messages int64
+}
+
+// VertexAverage returns RoundSum / n, the paper's vertex-averaged
+// complexity of the execution.
+func (r *Result) VertexAverage() float64 {
+	if len(r.Rounds) == 0 {
+		return 0
+	}
+	return float64(r.RoundSum) / float64(len(r.Rounds))
+}
+
+// CommitAverage returns the node-averaged complexity under Feuilloley's
+// first definition: the mean of the per-vertex output-commitment rounds.
+func (r *Result) CommitAverage() float64 {
+	if len(r.CommitRounds) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, c := range r.CommitRounds {
+		sum += int64(c)
+	}
+	return float64(sum) / float64(len(r.CommitRounds))
+}
+
+// MaxCommit returns the largest per-vertex commitment round.
+func (r *Result) MaxCommit() int {
+	m := 0
+	for _, c := range r.CommitRounds {
+		if int(c) > m {
+			m = int(c)
+		}
+	}
+	return m
+}
+
+// ErrMaxRounds is returned when a run exceeds Config.MaxRounds.
+var ErrMaxRounds = errors.New("engine: exceeded maximum round count")
+
+// Backend executes vertex Programs under the LOCAL-model round discipline.
+// Implementations must preserve the model semantics exactly: synchronous
+// rounds, inbox ordering by neighbor index, per-vertex PRNG streams, and
+// the termination accounting of Result — equal seeds must yield identical
+// Results on every backend.
+type Backend interface {
+	// Name is the registry key of the backend.
+	Name() string
+	// Run executes prog on every vertex of g until all vertices terminate.
+	Run(g *graph.Graph, prog Program, cfg Config) (*Result, error)
+}
+
+// PoolThreshold is the vertex count at or above which automatic backend
+// selection prefers "pool": below it the goroutine coordinator's lower
+// constant overhead wins, above it the active-set scheduler's
+// O(runnable)-per-round cost does.
+const PoolThreshold = 1 << 14
+
+var backends = map[string]Backend{}
+
+// Register adds a backend to the registry; it panics on duplicate names.
+func Register(b Backend) {
+	if _, dup := backends[b.Name()]; dup {
+		panic("exec: duplicate backend " + b.Name())
+	}
+	backends[b.Name()] = b
+}
+
+func init() {
+	Register(goroutinesBackend{})
+	Register(poolBackend{})
+}
+
+// Names lists the registered backends in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(backends))
+	for name := range backends {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the backend registered under name.
+func Lookup(name string) (Backend, error) {
+	if b, ok := backends[name]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("engine: unknown backend %q (have %v)", name, Names())
+}
+
+// Select resolves a backend choice for an n-vertex run. The empty string
+// and "auto" select "goroutines" below PoolThreshold vertices and "pool"
+// at or above it; any other name selects that backend explicitly.
+func Select(name string, n int) (Backend, error) {
+	if name == "" || name == "auto" {
+		if n >= PoolThreshold {
+			return backends["pool"], nil
+		}
+		return backends["goroutines"], nil
+	}
+	return Lookup(name)
+}
+
+// cell is one directed-edge message slot, written only by the edge's tail
+// and read only by its head.
+type cell struct {
+	data any
+	has  bool
+}
+
+// core is the run state shared by every backend: the double-buffered
+// directed-edge slots plus the per-vertex accounting arrays. All arrays
+// are indexed by vertex (or directed-edge position), so no two vertices
+// ever write the same element and results are scheduling-independent.
+type core struct {
+	g        *graph.Graph
+	bufA     []cell // double-buffered directed-edge slots
+	bufB     []cell
+	sendBuf  []cell // written during the current round
+	recvBuf  []cell // holds the previous round's messages
+	done     []bool // set by a vertex when it terminates (read at barriers)
+	rounds   []int32
+	commits  []int32
+	output   []any
+	msgCount []int64
+	panics   []any
+	aborted  bool
+	seed     int64
+}
+
+func newCore(g *graph.Graph, cfg Config) *core {
+	n := g.N()
+	c := &core{
+		g:        g,
+		bufA:     make([]cell, len(g.Adj)),
+		bufB:     make([]cell, len(g.Adj)),
+		done:     make([]bool, n),
+		rounds:   make([]int32, n),
+		commits:  make([]int32, n),
+		output:   make([]any, n),
+		msgCount: make([]int64, n),
+		panics:   make([]any, n),
+		seed:     cfg.Seed,
+	}
+	c.sendBuf, c.recvBuf = c.bufA, c.bufB
+	return c
+}
+
+// swap exchanges the double buffers at a round barrier: what was sent this
+// round becomes receivable.
+func (c *core) swap() {
+	c.sendBuf, c.recvBuf = c.recvBuf, c.sendBuf
+}
+
+// finish audits panics and assembles the Result once every vertex is done.
+func (c *core) finish(activePerRound []int, maxRounds int) (*Result, error) {
+	n := c.g.N()
+	for v := 0; v < n; v++ {
+		if p := c.panics[v]; p != nil {
+			if c.aborted {
+				if _, ok := p.(abortSentinel); ok {
+					continue
+				}
+			}
+			return nil, fmt.Errorf("engine: vertex %d panicked: %v", v, p)
+		}
+	}
+	if c.aborted {
+		return nil, fmt.Errorf("%w (%d rounds)", ErrMaxRounds, maxRounds)
+	}
+	res := &Result{
+		Rounds:         c.rounds,
+		CommitRounds:   c.commits,
+		Output:         c.output,
+		ActivePerRound: activePerRound,
+	}
+	for v := 0; v < n; v++ {
+		if res.CommitRounds[v] == 0 {
+			res.CommitRounds[v] = res.Rounds[v]
+		}
+	}
+	for v := 0; v < n; v++ {
+		if int(c.rounds[v]) > res.TotalRounds {
+			res.TotalRounds = int(c.rounds[v])
+		}
+		res.RoundSum += int64(c.rounds[v])
+		res.Messages += c.msgCount[v]
+	}
+	return res, nil
+}
+
+type abortSentinel struct{}
+
+// runtime is the backend-side contract of the API: how a vertex crosses a
+// round barrier and how it waits out an idle window. notifySend lets a
+// backend observe each delivered message (the pool backend uses it to wake
+// idle-parked receivers).
+type runtime interface {
+	next(a *API, buf []Msg) []Msg
+	idle(a *API, k int) []Msg
+	notifySend(recv int32)
+}
+
+// API is the interface a Program uses to act as its vertex. All methods
+// must be called only from the Program's own goroutine.
+type API struct {
+	core   *core
+	rt     runtime
+	v      int32
+	rng    *rand.Rand
+	outbox map[int32]any // pending sends keyed by neighbor index
+	round  int32
+}
+
+// runVertex executes prog on vertex v, then performs the final counted
+// round: broadcast the output once and terminate completely. done signals
+// the backend's barrier for this vertex.
+func runVertex(rt runtime, c *core, v int32, prog Program, done func()) {
+	api := &API{
+		core: c,
+		rt:   rt,
+		v:    v,
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			c.panics[v] = p
+			c.done[v] = true
+			done()
+		}
+	}()
+	out := prog(api)
+	api.Broadcast(Final{Output: out})
+	api.flush()
+	api.round++
+	c.rounds[v] = api.round
+	c.output[v] = out
+	c.done[v] = true
+	done()
+}
+
+// ID returns this vertex's ID (also its identifier in the ID assignment).
+func (a *API) ID() int { return int(a.v) }
+
+// N returns the number of vertices in the graph; per the model, n is
+// global knowledge.
+func (a *API) N() int { return a.core.g.N() }
+
+// Degree returns this vertex's degree in the input graph.
+func (a *API) Degree() int { return a.core.g.Degree(int(a.v)) }
+
+// NeighborIDs returns this vertex's neighbor IDs in ascending order. The
+// slice aliases shared storage and must not be modified.
+func (a *API) NeighborIDs() []int32 { return a.core.g.Neighbors(int(a.v)) }
+
+// Round returns the number of rounds this vertex has completed.
+func (a *API) Round() int { return int(a.round) }
+
+// NeighborIndex returns the position of vertex id within NeighborIDs, or
+// -1 if id is not a neighbor.
+func (a *API) NeighborIndex(id int32) int {
+	return a.core.g.NeighborIndex(int(a.v), int(id))
+}
+
+// Rand returns this vertex's deterministic PRNG. The generator is seeded
+// by (run seed, vertex ID) on first use: seeding costs a 607-word state
+// initialization, so deterministic programs that never draw randomness pay
+// nothing for it — at large n the eager version dominated both run time
+// and peak memory.
+func (a *API) Rand() *rand.Rand {
+	if a.rng == nil {
+		a.rng = rand.New(rand.NewSource(a.core.seed ^ (int64(a.v)+1)*0x9e3779b97f4a7c))
+	}
+	return a.rng
+}
+
+// Commit records that this vertex has irrevocably chosen its output in
+// the current round, per Feuilloley's first definition: the vertex may
+// keep computing and relaying afterwards, but its commitment round — not
+// its termination round — is what CommitRounds reports. Only the first
+// call takes effect.
+func (a *API) Commit() {
+	if a.core.commits[a.v] == 0 {
+		a.core.commits[a.v] = a.round + 1
+	}
+}
+
+// Send queues data for the k-th neighbor (index into NeighborIDs); it is
+// delivered when the current round completes at the next Next call.
+// Sending again to the same neighbor in the same round overwrites.
+func (a *API) Send(k int, data any) {
+	if a.outbox == nil {
+		a.outbox = make(map[int32]any, a.Degree())
+	}
+	a.outbox[int32(k)] = data
+}
+
+// SendID queues data for the neighbor with vertex ID nbr; it panics if nbr
+// is not a neighbor.
+func (a *API) SendID(nbr int, data any) {
+	k := a.core.g.NeighborIndex(int(a.v), nbr)
+	if k < 0 {
+		panic(fmt.Sprintf("engine: vertex %d sending to non-neighbor %d", a.v, nbr))
+	}
+	a.Send(k, data)
+}
+
+// Broadcast queues data for every neighbor.
+func (a *API) Broadcast(data any) {
+	for k := 0; k < a.Degree(); k++ {
+		a.Send(k, data)
+	}
+}
+
+// flush moves the outbox into the send buffer. Each cell is written only
+// by this vertex (the slot is receiver-side position Rev[p] of the
+// directed edge), so delivery needs no locks.
+func (a *API) flush() {
+	if len(a.outbox) == 0 {
+		return
+	}
+	g := a.core.g
+	base := g.Off[a.v]
+	for k, data := range a.outbox {
+		p := base + k
+		a.core.sendBuf[g.Rev[p]] = cell{data: data, has: true}
+		a.core.msgCount[a.v]++
+		a.rt.notifySend(g.Adj[p])
+	}
+	clear(a.outbox)
+}
+
+// collect appends this round's inbox (ordered by neighbor index) to buf,
+// clearing the slots it drains.
+func (a *API) collect(buf []Msg) []Msg {
+	g := a.core.g
+	lo, hi := g.Off[a.v], g.Off[a.v+1]
+	for p := lo; p < hi; p++ {
+		if a.core.recvBuf[p].has {
+			buf = append(buf, Msg{From: g.Adj[p], Data: a.core.recvBuf[p].data})
+			a.core.recvBuf[p] = cell{}
+		}
+	}
+	return buf
+}
+
+// Next completes the current round (delivering queued sends) and blocks
+// until the next synchronous round begins, returning the messages this
+// vertex received, ordered by neighbor index.
+func (a *API) Next() []Msg {
+	return a.rt.next(a, nil)
+}
+
+// Idle spends k counted rounds sending nothing and returns every message
+// received during them (in arrival order). Algorithms use it to wait out a
+// scheduled window while remaining active, exactly as waiting vertices do
+// in the paper's RoundSum accounting.
+//
+// Messages accumulate into a single buffer grown in place, so a long quiet
+// window allocates nothing per round; on the pool backend the vertex is
+// additionally parked for the whole window and costs no scheduler work
+// until a message arrives or the window expires.
+func (a *API) Idle(k int) []Msg {
+	return a.rt.idle(a, k)
+}

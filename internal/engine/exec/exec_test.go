@@ -1,0 +1,318 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	gort "runtime"
+	"testing"
+
+	"vavg/internal/graph"
+)
+
+// withShards forces the pool backend to use at least n shards so the
+// cross-shard paths (message wakes, pending drains) are exercised even on
+// single-core test machines.
+func withShards(t *testing.T, n int) {
+	t.Helper()
+	old := gort.GOMAXPROCS(n)
+	t.Cleanup(func() { gort.GOMAXPROCS(old) })
+}
+
+// The synthetic programs cover the scheduling-relevant behaviors: dense
+// flooding, long idle windows, mid-window message arrival, termination
+// waves, randomized idling, and commitment.
+func testPrograms() map[string]Program {
+	return map[string]Program{
+		"flood": func(api *API) any {
+			best := api.ID()
+			for i := 0; i < 4; i++ {
+				api.Broadcast(best)
+				for _, m := range api.Next() {
+					if v, ok := m.Data.(int); ok && v > best {
+						best = v
+					}
+				}
+			}
+			return best
+		},
+		"idle-mod": func(api *API) any {
+			api.Idle(api.ID() % 17)
+			return api.ID()
+		},
+		"idle-rand": func(api *API) any {
+			api.Idle(api.Rand().Intn(9))
+			return api.Rand().Int63()
+		},
+		"send-then-idle": func(api *API) any {
+			// Low-ID vertices broadcast into their neighbors' idle windows
+			// at staggered rounds; everyone idles for a long window and
+			// must collect exactly the mid-window traffic.
+			if api.ID()%3 == 0 {
+				api.Idle(api.ID() % 5)
+				api.Broadcast(api.ID())
+			}
+			got := 0
+			for _, m := range api.Idle(12) {
+				if _, ok := m.Data.(int); ok {
+					got++
+				}
+			}
+			return got
+		},
+		"commit-relay": func(api *API) any {
+			if api.ID()%2 == 0 {
+				api.Commit()
+			}
+			api.Idle(3 + api.ID()%4)
+			return api.Round()
+		},
+		"termination-wave": func(api *API) any {
+			// Vertex 0 terminates immediately; everyone else terminates one
+			// round after first hearing a Final, propagating a wave.
+			if api.ID() == 0 {
+				return 0
+			}
+			for {
+				for _, m := range api.Next() {
+					if f, ok := m.Data.(Final); ok {
+						return f.Output.(int) + 1
+					}
+				}
+			}
+		},
+	}
+}
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"ring":    graph.Ring(64),
+		"path":    graph.Path(33),
+		"star":    graph.Star(40),
+		"forests": graph.ForestUnion(150, 3, 7),
+		"gnm":     graph.Gnm(90, 260, 5),
+		"tree":    graph.RandomTree(77, 3),
+	}
+}
+
+func runBoth(t *testing.T, g *graph.Graph, prog Program, cfg Config) (*Result, *Result) {
+	t.Helper()
+	gb, _ := Lookup("goroutines")
+	pb, _ := Lookup("pool")
+	rg, err := gb.Run(g, prog, cfg)
+	if err != nil {
+		t.Fatalf("goroutines: %v", err)
+	}
+	rp, err := pb.Run(g, prog, cfg)
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	return rg, rp
+}
+
+func requireEqualResults(t *testing.T, label string, rg, rp *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(rg.Rounds, rp.Rounds) {
+		t.Errorf("%s: Rounds differ:\n goroutines %v\n pool %v", label, rg.Rounds, rp.Rounds)
+	}
+	if !reflect.DeepEqual(rg.CommitRounds, rp.CommitRounds) {
+		t.Errorf("%s: CommitRounds differ", label)
+	}
+	if !reflect.DeepEqual(rg.Output, rp.Output) {
+		t.Errorf("%s: Outputs differ", label)
+	}
+	if !reflect.DeepEqual(rg.ActivePerRound, rp.ActivePerRound) {
+		t.Errorf("%s: ActivePerRound differ:\n goroutines %v\n pool %v", label, rg.ActivePerRound, rp.ActivePerRound)
+	}
+	if rg.TotalRounds != rp.TotalRounds || rg.RoundSum != rp.RoundSum || rg.Messages != rp.Messages {
+		t.Errorf("%s: totals differ: goroutines (%d,%d,%d) pool (%d,%d,%d)", label,
+			rg.TotalRounds, rg.RoundSum, rg.Messages, rp.TotalRounds, rp.RoundSum, rp.Messages)
+	}
+}
+
+func TestCrossBackendEquivalence(t *testing.T) {
+	withShards(t, 4)
+	for gname, g := range testGraphs() {
+		for pname, prog := range testPrograms() {
+			for _, seed := range []int64{1, 42} {
+				label := fmt.Sprintf("%s/%s/seed%d", gname, pname, seed)
+				rg, rp := runBoth(t, g, prog, Config{Seed: seed})
+				requireEqualResults(t, label, rg, rp)
+			}
+		}
+	}
+}
+
+func TestPoolSingleShardEquivalence(t *testing.T) {
+	withShards(t, 1)
+	g := graph.ForestUnion(120, 3, 11)
+	for pname, prog := range testPrograms() {
+		rg, rp := runBoth(t, g, prog, Config{Seed: 5})
+		requireEqualResults(t, "1shard/"+pname, rg, rp)
+	}
+}
+
+// TestPoolIdleMessageWake pins the subtle case the active-set scheduler
+// must get right: a message flushed into the middle of a long idle window
+// must wake the parked receiver for exactly that round (or the buffered
+// slot would be overwritten by a later send) and be returned in arrival
+// order.
+func TestPoolIdleMessageWake(t *testing.T) {
+	withShards(t, 3)
+	g := graph.Path(2)
+	prog := func(api *API) any {
+		if api.ID() == 0 {
+			// Two sends to the same neighbor in distinct rounds; without a
+			// mid-window wake the second would overwrite the first.
+			api.Idle(3)
+			api.Send(0, "early")
+			api.Idle(4)
+			api.Send(0, "late")
+			api.Idle(3)
+			return nil
+		}
+		var got []string
+		for _, m := range api.Idle(14) {
+			if s, ok := m.Data.(string); ok {
+				got = append(got, s)
+			}
+		}
+		return fmt.Sprint(got)
+	}
+	pb, _ := Lookup("pool")
+	res, err := pb.Run(g, prog, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[1] != "[early late]" {
+		t.Errorf("idle window collected %v, want [early late]", res.Output[1])
+	}
+	gb, _ := Lookup("goroutines")
+	rg, err := gb.Run(g, prog, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, "idle-wake", rg, res)
+}
+
+// TestPoolFastForward checks that an all-idle stretch is skipped without
+// distorting the accounting: ActivePerRound still pays every round.
+func TestPoolFastForward(t *testing.T) {
+	withShards(t, 2)
+	g := graph.Ring(16)
+	prog := func(api *API) any {
+		api.Idle(500)
+		return api.Round()
+	}
+	rg, rp := runBoth(t, g, prog, Config{Seed: 9})
+	requireEqualResults(t, "fast-forward", rg, rp)
+	if len(rp.ActivePerRound) != 501 {
+		t.Errorf("ActivePerRound has %d entries, want 501", len(rp.ActivePerRound))
+	}
+}
+
+func TestPoolAccountingIdentities(t *testing.T) {
+	withShards(t, 4)
+	g := graph.ForestUnion(300, 2, 13)
+	prog := func(api *API) any {
+		api.Idle(api.ID() % 23)
+		return api.ID()
+	}
+	pb, _ := Lookup("pool")
+	res, err := pb.Run(g, prog, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, a := range res.ActivePerRound {
+		sum += int64(a)
+	}
+	if sum != res.RoundSum {
+		t.Errorf("sum of ActivePerRound = %d, RoundSum = %d", sum, res.RoundSum)
+	}
+	if res.VertexAverage() > float64(res.TotalRounds) {
+		t.Errorf("VertexAverage %.2f exceeds TotalRounds %d", res.VertexAverage(), res.TotalRounds)
+	}
+}
+
+func TestPoolMaxRoundsAborts(t *testing.T) {
+	withShards(t, 2)
+	g := graph.Ring(8)
+	spin := func(api *API) any {
+		for {
+			api.Next()
+		}
+	}
+	pb, _ := Lookup("pool")
+	if _, err := pb.Run(g, spin, Config{MaxRounds: 40}); !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("spin err = %v, want ErrMaxRounds", err)
+	}
+	// Vertices parked in an over-long idle window must be reachable by the
+	// abort too (the fast-forward path must stop at MaxRounds).
+	park := func(api *API) any {
+		api.Idle(1 << 20)
+		return nil
+	}
+	if _, err := pb.Run(g, park, Config{MaxRounds: 40}); !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("park err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestPoolVertexPanicPropagates(t *testing.T) {
+	withShards(t, 2)
+	g := graph.Ring(6)
+	prog := func(api *API) any {
+		if api.ID() == 3 {
+			panic("boom")
+		}
+		api.Idle(2)
+		return nil
+	}
+	pb, _ := Lookup("pool")
+	if _, err := pb.Run(g, prog, Config{Seed: 1}); err == nil {
+		t.Fatal("expected error from panicking vertex")
+	}
+}
+
+func TestPoolDeterminismAcrossRuns(t *testing.T) {
+	withShards(t, 4)
+	g := graph.ForestUnion(180, 3, 17)
+	prog := func(api *API) any {
+		api.Idle(api.Rand().Intn(6))
+		api.Broadcast(api.Rand().Int())
+		api.Next()
+		return api.Rand().Int63()
+	}
+	pb, _ := Lookup("pool")
+	r1, err := pb.Run(g, prog, Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := pb.Run(g, prog, Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, "determinism", r1, r2)
+}
+
+func TestSelect(t *testing.T) {
+	b, err := Select("", PoolThreshold-1)
+	if err != nil || b.Name() != "goroutines" {
+		t.Errorf("Select small = %v, %v", b, err)
+	}
+	b, err = Select("auto", PoolThreshold)
+	if err != nil || b.Name() != "pool" {
+		t.Errorf("Select large = %v, %v", b, err)
+	}
+	b, err = Select("pool", 4)
+	if err != nil || b.Name() != "pool" {
+		t.Errorf("Select explicit = %v, %v", b, err)
+	}
+	if _, err = Select("nope", 4); err == nil {
+		t.Error("Select unknown backend should fail")
+	}
+	want := []string{"goroutines", "pool"}
+	if !reflect.DeepEqual(Names(), want) {
+		t.Errorf("Names() = %v, want %v", Names(), want)
+	}
+}

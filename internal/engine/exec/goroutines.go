@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"sync"
+
+	"vavg/internal/graph"
+)
+
+// goroutinesBackend is the original engine: one goroutine per vertex, a
+// single coordinator goroutine driving global rounds. Every live vertex is
+// woken through its own channel and crosses one WaitGroup barrier per
+// round, whether it has work or is merely waiting out a window.
+type goroutinesBackend struct{}
+
+func (goroutinesBackend) Name() string { return "goroutines" }
+
+type goRuntime struct {
+	c    *core
+	wg   sync.WaitGroup
+	wake []chan struct{}
+}
+
+func (rt *goRuntime) notifySend(int32) {}
+
+func (rt *goRuntime) next(a *API, buf []Msg) []Msg {
+	a.flush()
+	a.round++
+	rt.c.rounds[a.v] = a.round
+	rt.wg.Done()
+	<-rt.wake[a.v]
+	if rt.c.aborted {
+		panic(abortSentinel{})
+	}
+	return a.collect(buf)
+}
+
+func (rt *goRuntime) idle(a *API, k int) []Msg {
+	var all []Msg
+	for i := 0; i < k; i++ {
+		all = rt.next(a, all)
+	}
+	return all
+}
+
+func (goroutinesBackend) Run(g *graph.Graph, prog Program, cfg Config) (*Result, error) {
+	n := g.N()
+	maxRounds := cfg.maxRounds(n)
+	c := newCore(g, cfg)
+	rt := &goRuntime{c: c, wake: make([]chan struct{}, n)}
+	for v := 0; v < n; v++ {
+		rt.wake[v] = make(chan struct{}, 1)
+	}
+
+	rt.wg.Add(n)
+	for v := 0; v < n; v++ {
+		go runVertex(rt, c, int32(v), prog, rt.wg.Done)
+	}
+
+	active := make([]int32, n)
+	for v := range active {
+		active[v] = int32(v)
+	}
+	var activePerRound []int
+	round := 0
+	for {
+		round++
+		activePerRound = append(activePerRound, len(active))
+		rt.wg.Wait() // all active vertices finished this round
+
+		// Drop vertices that terminated this round.
+		live := active[:0]
+		for _, v := range active {
+			if !c.done[v] {
+				live = append(live, v)
+			}
+		}
+		active = live
+		if len(active) == 0 {
+			break
+		}
+		if round >= maxRounds && !c.aborted {
+			c.aborted = true
+		}
+		c.swap()
+		rt.wg.Add(len(active))
+		for _, v := range active {
+			rt.wake[v] <- struct{}{}
+		}
+	}
+	return c.finish(activePerRound, maxRounds)
+}

@@ -1,0 +1,421 @@
+package exec
+
+import (
+	"math"
+	gort "runtime"
+	"sync"
+	"sync/atomic"
+
+	"vavg/internal/graph"
+)
+
+// poolBackend schedules vertices with an explicit active-set scheduler on
+// top of contiguous vertex shards, one worker per GOMAXPROCS core.
+//
+// Scheduling states of a live vertex:
+//
+//   - runnable: parked in Next; it must be woken every round (Next returns
+//     once per round by contract). Kept in the shard's runnable list.
+//   - idle-parked: parked inside Idle(k). It costs zero scheduler work per
+//     round: its window expiry sits in the shard's timer heap, and it is
+//     woken early only when a message is actually flushed to it (senders
+//     mark the receiving round in a per-vertex atomic and enqueue a single
+//     wake per receiver per round). On an early wake it drains its inbox
+//     and parks again until the window expires.
+//
+// The round protocol needs one synchronization per shard, not per vertex:
+// the coordinator swaps the global double buffer, then releases every
+// shard worker; each worker wakes its shard's wake-set, waits on the
+// shard-local WaitGroup, and reports back. When no vertex in the system is
+// runnable — every live vertex is idle-parked with no pending message —
+// the coordinator fast-forwards the global round counter to the earliest
+// timer in O(shards) instead of grinding through empty rounds.
+//
+// Determinism: every observable effect (inbox order, PRNG streams, round
+// counters, message counts) is a pure function of the vertex and the
+// round, so the Result is byte-identical to the goroutines backend's.
+type poolBackend struct{}
+
+func (poolBackend) Name() string { return "pool" }
+
+// idleEntry is a (round, vertex) event: a timer expiry or a message wake.
+type idleEntry struct {
+	round int32
+	v     int32
+}
+
+type shard struct {
+	rt *poolRuntime
+	lo int32
+	hi int32
+	// first marks the spawn round: vertices start executing round 1 the
+	// moment they are spawned (already counted in wg), so the first
+	// runRound only waits for the barrier instead of waking anyone. This
+	// lets short-lived vertex goroutines die during the spawn loop and
+	// recycle their stacks, instead of forcing n parked goroutines (and n
+	// live stacks) to coexist before round 1.
+	first bool
+	// wg is the shard-local round barrier: one Add per woken vertex, one
+	// Done per vertex park (or termination).
+	wg   sync.WaitGroup
+	wake []chan struct{} // indexed by v-lo, capacity 1
+	// start releases the worker for one round; closed to stop it.
+	start chan struct{}
+	// runnable holds the live vertices that must run every round. Owned by
+	// the worker (and by parked-vertex writes ordered through wg).
+	runnable []int32
+	wakeBuf  []int32
+	// idleExp[v-lo] is the round in which v's Idle window expires, or 0 if
+	// v is not idle-parked. Written by v before parking, read and cleared
+	// by the worker between barriers.
+	idleExp []int32
+	// timers is a min-heap of idle-window expiries. Pushed by vertices
+	// entering Idle (under timerMu, concurrent within a shard), popped by
+	// the worker between barriers.
+	timerMu sync.Mutex
+	timers  []idleEntry
+	// pending holds message wakes: entry (T, v) means a message addressed
+	// to v was flushed for delivery in round T. Senders from any shard
+	// append under pendMu, at most once per (v, T) thanks to msgRound.
+	pendMu  sync.Mutex
+	pending []idleEntry
+	// msgRound[v-lo] is the latest delivery round already enqueued in
+	// pending for v; accessed atomically by senders.
+	msgRound []int32
+	// live counts non-terminated vertices in the shard.
+	live int
+}
+
+type poolRuntime struct {
+	c         *core
+	shards    []*shard
+	shardSize int32
+	// round is the current global round. Written by the coordinator while
+	// every vertex is parked, read by vertices during their turns (the
+	// wake channels order the accesses).
+	round int32
+}
+
+func (rt *poolRuntime) shardOf(v int32) *shard { return rt.shards[v/rt.shardSize] }
+
+// notifySend marks receiver recv as having a message deliverable next
+// round, waking it if it is idle-parked. The msgRound CAS deduplicates to
+// one pending entry per receiver per round; entries for receivers that
+// turn out to be runnable (or terminated) are dropped at drain time.
+func (rt *poolRuntime) notifySend(recv int32) {
+	s := rt.shardOf(recv)
+	i := recv - s.lo
+	t := rt.round + 1
+	for {
+		old := atomic.LoadInt32(&s.msgRound[i])
+		if old >= t {
+			return
+		}
+		if atomic.CompareAndSwapInt32(&s.msgRound[i], old, t) {
+			s.pendMu.Lock()
+			s.pending = append(s.pending, idleEntry{t, recv})
+			s.pendMu.Unlock()
+			return
+		}
+	}
+}
+
+func (rt *poolRuntime) next(a *API, buf []Msg) []Msg {
+	a.flush()
+	a.round++
+	rt.c.rounds[a.v] = a.round
+	s := rt.shardOf(a.v)
+	s.wg.Done()
+	<-s.wake[a.v-s.lo]
+	if rt.c.aborted {
+		panic(abortSentinel{})
+	}
+	return a.collect(buf)
+}
+
+// idle parks the vertex for k rounds. The window spans global rounds
+// W..W+k-1 where W is the round the vertex is currently executing; wakes
+// happen in rounds W+1..W+k (early on message arrival, finally at expiry
+// E = W+k), each collecting the previous round's deliveries — exactly the
+// rounds and inbox contents a loop of k Next calls would observe.
+func (rt *poolRuntime) idle(a *API, k int) []Msg {
+	if k <= 0 {
+		return nil
+	}
+	if k == 1 {
+		return rt.next(a, nil)
+	}
+	a.flush()
+	s := rt.shardOf(a.v)
+	li := a.v - s.lo
+	e := a.round + 1 + int32(k) // expiry round: final wake and collect
+	s.idleExp[li] = e
+	s.timerMu.Lock()
+	heapPush(&s.timers, idleEntry{e, a.v})
+	s.timerMu.Unlock()
+	var all []Msg
+	for {
+		s.wg.Done()
+		<-s.wake[li]
+		if rt.c.aborted {
+			panic(abortSentinel{})
+		}
+		w := rt.round
+		a.round = w - 1
+		rt.c.rounds[a.v] = a.round
+		all = a.collect(all)
+		if w == e {
+			// The worker cleared idleExp and moved the vertex back to the
+			// runnable list before this wake.
+			return all
+		}
+	}
+}
+
+// runRound wakes this shard's wake-set for the current global round and
+// waits for every woken vertex to park again. In the spawn round the
+// vertices are already running (and already counted in wg), so only the
+// barrier wait and the retirement pass happen.
+func (s *shard) runRound() {
+	rt := s.rt
+	if s.first {
+		s.first = false
+	} else {
+		w := rt.round
+		ws := append(s.wakeBuf[:0], s.runnable...)
+		if rt.c.aborted {
+			// Abort: wake everything, including idle-parked vertices, so
+			// every Program unwinds via the abort sentinel.
+			for v := s.lo; v < s.hi; v++ {
+				if s.idleExp[v-s.lo] != 0 && !rt.c.done[v] {
+					s.idleExp[v-s.lo] = 0
+					s.runnable = append(s.runnable, v)
+					ws = append(ws, v)
+				}
+			}
+			s.timers = s.timers[:0]
+		} else {
+			// Expired idle windows rejoin the runnable set for their final
+			// collect.
+			for len(s.timers) > 0 && s.timers[0].round <= w {
+				e := heapPop(&s.timers)
+				li := e.v - s.lo
+				if s.idleExp[li] == e.round {
+					s.idleExp[li] = 0
+					s.runnable = append(s.runnable, e.v)
+					ws = append(ws, e.v)
+				}
+			}
+			// Message wakes for this round: wake idle-parked receivers
+			// early; drop entries for runnable or terminated receivers
+			// (they collect themselves or never will). Entries stamped for
+			// a later round (pushed concurrently by shards already
+			// executing this round) stay queued.
+			s.pendMu.Lock()
+			keep := s.pending[:0]
+			for _, e := range s.pending {
+				if e.round > w {
+					keep = append(keep, e)
+					continue
+				}
+				if s.idleExp[e.v-s.lo] > w {
+					ws = append(ws, e.v)
+				}
+			}
+			s.pending = keep
+			s.pendMu.Unlock()
+		}
+		s.wg.Add(len(ws))
+		for _, v := range ws {
+			s.wake[v-s.lo] <- struct{}{}
+		}
+		s.wakeBuf = ws[:0]
+	}
+	s.wg.Wait()
+	// Retire terminated vertices and newly idle-parked ones from the
+	// runnable list.
+	nr := s.runnable[:0]
+	for _, v := range s.runnable {
+		if rt.c.done[v] {
+			s.live--
+			continue
+		}
+		if s.idleExp[v-s.lo] != 0 {
+			continue
+		}
+		nr = append(nr, v)
+	}
+	s.runnable = nr
+}
+
+// nextEventRound returns the earliest upcoming round in which any vertex
+// is runnable: cur+1 if some shard has runnable vertices or pending
+// message wakes, otherwise the earliest idle-window expiry.
+func (rt *poolRuntime) nextEventRound(cur int) int {
+	next := math.MaxInt
+	for _, s := range rt.shards {
+		if len(s.runnable) > 0 {
+			return cur + 1
+		}
+		s.pendMu.Lock()
+		np := len(s.pending)
+		s.pendMu.Unlock()
+		if np > 0 {
+			return cur + 1
+		}
+		if len(s.timers) > 0 && int(s.timers[0].round) < next {
+			next = int(s.timers[0].round)
+		}
+	}
+	if next == math.MaxInt {
+		// Live vertices but no scheduled event: livelock; advance round by
+		// round until MaxRounds aborts the run.
+		return cur + 1
+	}
+	return next
+}
+
+func (poolBackend) Run(g *graph.Graph, prog Program, cfg Config) (*Result, error) {
+	n := g.N()
+	maxRounds := cfg.maxRounds(n)
+	c := newCore(g, cfg)
+
+	nshards := gort.GOMAXPROCS(0)
+	if nshards > n {
+		nshards = n
+	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	shardSize := (n + nshards - 1) / nshards
+	rt := &poolRuntime{c: c, shardSize: int32(shardSize)}
+	for lo := 0; lo < n; lo += shardSize {
+		hi := lo + shardSize
+		if hi > n {
+			hi = n
+		}
+		s := &shard{
+			rt:       rt,
+			lo:       int32(lo),
+			hi:       int32(hi),
+			first:    true,
+			wake:     make([]chan struct{}, hi-lo),
+			start:    make(chan struct{}),
+			runnable: make([]int32, 0, hi-lo),
+			idleExp:  make([]int32, hi-lo),
+			msgRound: make([]int32, hi-lo),
+			live:     hi - lo,
+		}
+		for i := range s.wake {
+			s.wake[i] = make(chan struct{}, 1)
+			s.runnable = append(s.runnable, int32(lo+i))
+		}
+		rt.shards = append(rt.shards, s)
+	}
+
+	// Round 1 is the spawn round: every vertex goroutine starts executing
+	// immediately, pre-counted in its shard's barrier. Vertices that finish
+	// within the round die during the spawn loop and their stacks are
+	// recycled for the next spawn.
+	rt.round = 1
+	for _, s := range rt.shards {
+		s.wg.Add(int(s.hi - s.lo))
+	}
+	for v := 0; v < n; v++ {
+		s := rt.shardOf(int32(v))
+		go runVertex(rt, c, int32(v), prog, s.wg.Done)
+	}
+
+	var roundWG sync.WaitGroup
+	for _, s := range rt.shards {
+		go func(s *shard) {
+			for range s.start {
+				s.runRound()
+				roundWG.Done()
+			}
+		}(s)
+	}
+
+	activePerRound := []int{n}
+	round := 1
+	for {
+		// Complete the current round across all shards.
+		roundWG.Add(len(rt.shards))
+		for _, s := range rt.shards {
+			s.start <- struct{}{}
+		}
+		roundWG.Wait()
+		if round >= maxRounds && !c.aborted {
+			c.aborted = true
+		}
+		live := 0
+		for _, s := range rt.shards {
+			live += s.live
+		}
+		if live == 0 {
+			break
+		}
+		// Fast-forward rounds in which every live vertex is idle-parked
+		// with no deliverable message: they all pay the rounds (the
+		// paper's waiting-is-active accounting) but cost O(shards) here.
+		if !c.aborted {
+			next := rt.nextEventRound(round)
+			for round+1 < next && !c.aborted {
+				round++
+				activePerRound = append(activePerRound, live)
+				if round >= maxRounds {
+					c.aborted = true
+				}
+			}
+		}
+		round++
+		activePerRound = append(activePerRound, live)
+		rt.round = int32(round)
+		c.swap()
+	}
+	for _, s := range rt.shards {
+		close(s.start)
+	}
+	return c.finish(activePerRound, maxRounds)
+}
+
+// heapPush / heapPop maintain a binary min-heap of idleEntry by round.
+func heapPush(h *[]idleEntry, e idleEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].round <= s[i].round {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func heapPop(h *[]idleEntry) idleEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && s[l].round < s[min].round {
+			min = l
+		}
+		if r < len(s) && s[r].round < s[min].round {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}

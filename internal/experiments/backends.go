@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"vavg"
+	"vavg/internal/engine"
+	"vavg/internal/metrics"
+)
+
+// BackendPoint is one (backend, algorithm, family, n) measurement of the
+// engine-core benchmark: the LOCAL-model accounting (which must be
+// identical across backends) plus the wall-clock and memory cost of the
+// execution strategy (which is what differs).
+type BackendPoint struct {
+	Backend          string  `json:"backend"`
+	Algorithm        string  `json:"algorithm"`
+	Family           string  `json:"family"`
+	N                int     `json:"n"`
+	M                int     `json:"m"`
+	TotalRounds      int     `json:"totalRounds"`
+	RoundSum         int64   `json:"roundSum"`
+	VertexAvg        float64 `json:"vertexAvg"`
+	WallMs           float64 `json:"wallMs"`
+	NsPerRound       float64 `json:"nsPerRound"`
+	NsPerVertexRound float64 `json:"nsPerVertexRound"`
+	PeakBytes        uint64  `json:"peakBytes"`
+}
+
+// BackendBench is the machine-readable artifact committed as
+// BENCH_engine.json: the execution environment plus all points.
+type BackendBench struct {
+	GoVersion  string         `json:"goVersion"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Points     []BackendPoint `json:"points"`
+}
+
+// backendFamilies are the graph families the backend benchmark sweeps;
+// ring (a=2) and forest-union (a=3) are the million-vertex families named
+// by the engine roadmap.
+var backendFamilies = []struct {
+	Name string
+	A    int
+	Gen  func(n int) *vavg.Graph
+}{
+	{"ring", 2, func(n int) *vavg.Graph { return vavg.Ring(n) }},
+	{"forests", 3, func(n int) *vavg.Graph { return vavg.ForestUnion(n, 3, 7) }},
+}
+
+// backendAlgs are the default benchmarked algorithms: "partition" is the
+// early-termination workload (both backends shrink their live set), while
+// "arblinial-o1" and "ka2" layer the §7 Idle-window schedules on top,
+// which is where the pool's active-set scheduler pays off: goroutines
+// wakes every live vertex every round of a window, the pool parks them
+// until a message arrives or the window expires.
+var backendAlgs = []string{"partition", "arblinial-o1", "ka2"}
+
+// RunBackendBench measures every registered engine backend on the default
+// algorithm/family matrix across cfg.Sizes.
+func RunBackendBench(cfg Config) (*BackendBench, error) {
+	cfg = cfg.withDefaults()
+	seed := cfg.Seeds[0]
+	bench := &BackendBench{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, fam := range backendFamilies {
+		for _, n := range cfg.Sizes {
+			g := fam.Gen(n)
+			for _, name := range backendAlgs {
+				alg, err := vavg.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				for _, backend := range engine.Backends() {
+					pt, err := measureBackend(alg, g, fam.Name, fam.A, backend, seed)
+					if err != nil {
+						return nil, fmt.Errorf("backends: %s/%s/%s n=%d: %w", backend, name, fam.Name, n, err)
+					}
+					bench.Points = append(bench.Points, pt)
+				}
+			}
+		}
+	}
+	return bench, nil
+}
+
+// measureBackend times one run with validation disabled so only the engine
+// core is on the clock, and samples HeapInuse+StackInuse concurrently to
+// capture the peak footprint (goroutine stacks dominate at large n).
+func measureBackend(alg vavg.Algorithm, g *vavg.Graph, family string, a int, backend string, seed int64) (BackendPoint, error) {
+	runtime.GC()
+	stop := make(chan struct{})
+	peakCh := make(chan uint64, 1)
+	go func() {
+		var ms runtime.MemStats
+		var peak uint64
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if v := ms.HeapInuse + ms.StackInuse; v > peak {
+				peak = v
+			}
+			select {
+			case <-stop:
+				peakCh <- peak
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	start := time.Now()
+	rep, err := alg.Run(g, vavg.Params{
+		Arboricity: a, Seed: seed, Backend: backend, SkipValidation: true,
+	})
+	wall := time.Since(start)
+	close(stop)
+	peak := <-peakCh
+	if err != nil {
+		return BackendPoint{}, err
+	}
+	pt := BackendPoint{
+		Backend:     backend,
+		Algorithm:   alg.Name,
+		Family:      family,
+		N:           g.N(),
+		M:           g.M(),
+		TotalRounds: rep.WorstCase,
+		RoundSum:    rep.RoundSum,
+		VertexAvg:   rep.VertexAvg,
+		WallMs:      float64(wall.Nanoseconds()) / 1e6,
+		PeakBytes:   peak,
+	}
+	if rep.WorstCase > 0 {
+		pt.NsPerRound = float64(wall.Nanoseconds()) / float64(rep.WorstCase)
+	}
+	if rep.RoundSum > 0 {
+		pt.NsPerVertexRound = float64(wall.Nanoseconds()) / float64(rep.RoundSum)
+	}
+	return pt, nil
+}
+
+// WriteJSON emits the benchmark as indented JSON (the BENCH_engine.json
+// format).
+func (b *BackendBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// runBackends renders the backend comparison as a table (or as JSON under
+// cfg.JSON) and cross-checks that the backends agreed on the accounting.
+func runBackends(cfg Config) error {
+	cfg = cfg.withDefaults()
+	bench, err := RunBackendBench(cfg)
+	if err != nil {
+		return err
+	}
+	if err := checkBackendAgreement(bench); err != nil {
+		return err
+	}
+	if cfg.JSON {
+		return bench.WriteJSON(cfg.W)
+	}
+	var rows [][]string
+	for _, pt := range bench.Points {
+		rows = append(rows, []string{
+			pt.Backend, pt.Algorithm, pt.Family, metrics.I(pt.N),
+			metrics.F(pt.VertexAvg), metrics.I(pt.TotalRounds),
+			fmt.Sprintf("%.1f", pt.WallMs),
+			fmt.Sprintf("%.0f", pt.NsPerVertexRound),
+			fmt.Sprintf("%.1f", float64(pt.PeakBytes)/(1<<20)),
+		})
+	}
+	metrics.Table(cfg.W, []string{"backend", "algorithm", "family", "n",
+		"vertex-avg", "rounds", "wall ms", "ns/vertex-round", "peak MiB"}, rows)
+	return nil
+}
+
+// checkBackendAgreement verifies the equivalence contract on the
+// benchmark's own data: every backend must report identical rounds and
+// round sums for the same (algorithm, family, n, seed) cell.
+func checkBackendAgreement(b *BackendBench) error {
+	type key struct {
+		alg, fam string
+		n        int
+	}
+	seen := map[key]BackendPoint{}
+	for _, pt := range b.Points {
+		k := key{pt.Algorithm, pt.Family, pt.N}
+		if prev, ok := seen[k]; ok {
+			if prev.TotalRounds != pt.TotalRounds || prev.RoundSum != pt.RoundSum {
+				return fmt.Errorf("backends disagree on %s/%s n=%d: %s (%d,%d) vs %s (%d,%d)",
+					pt.Algorithm, pt.Family, pt.N,
+					prev.Backend, prev.TotalRounds, prev.RoundSum,
+					pt.Backend, pt.TotalRounds, pt.RoundSum)
+			}
+		} else {
+			seen[k] = pt
+		}
+	}
+	return nil
+}

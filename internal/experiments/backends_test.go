@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vavg/internal/engine"
+)
+
+// TestBackendBenchJSON checks the BENCH_engine.json artifact shape: the
+// JSON mode must emit a parseable BackendBench covering every (family,
+// algorithm, backend) cell with sane measurements, and the built-in
+// agreement check must have passed.
+func TestBackendBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("backend bench is not short")
+	}
+	var sb strings.Builder
+	cfg := Config{JSON: true, W: &sb, Sizes: []int{192}, Seeds: []int64{3}}
+	if err := runBackends(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var bench BackendBench
+	if err := json.Unmarshal([]byte(sb.String()), &bench); err != nil {
+		t.Fatalf("backends JSON does not parse: %v", err)
+	}
+	want := len(backendFamilies) * len(backendAlgs) * len(engine.Backends())
+	if len(bench.Points) != want {
+		t.Fatalf("got %d points, want %d", len(bench.Points), want)
+	}
+	for _, pt := range bench.Points {
+		if pt.RoundSum <= 0 || pt.TotalRounds <= 0 || pt.WallMs <= 0 || pt.PeakBytes == 0 {
+			t.Errorf("degenerate point %+v", pt)
+		}
+	}
+	if bench.GoMaxProcs <= 0 || bench.GoVersion == "" {
+		t.Errorf("missing environment metadata: %+v", bench)
+	}
+}

@@ -31,7 +31,10 @@ type SweepResult struct {
 // Sweep measures alg across the given sizes, generating each graph with
 // gen and reporting medians over seeds (nil seeds means {1,2,3}). Sweeps
 // are how the paper's tables are checked empirically; the result exposes
-// the growth-shape diagnostics used by EXPERIMENTS.md.
+// the growth-shape diagnostics used by EXPERIMENTS.md. p.Backend selects
+// the engine execution backend for every point of the sweep; the default
+// "auto" switches to the active-set pool backend at large n, which is
+// what makes million-vertex sweep points affordable.
 func Sweep(alg Algorithm, gen func(n int) *Graph, sizes []int, seeds []int64, p Params) (*SweepResult, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{1, 2, 3}

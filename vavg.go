@@ -73,7 +73,16 @@ type Params struct {
 	MaxRounds int
 	// SkipValidation disables output checking (benchmarks).
 	SkipValidation bool
+	// Backend selects the engine execution backend: "goroutines", "pool",
+	// or ""/"auto" to pick by graph size. Backends are execution
+	// strategies only — equal seeds yield identical results on all of
+	// them; see engine.Backends for the registered names.
+	Backend string
 }
+
+// Backends lists the registered engine execution backends, in the order
+// they can be named in Params.Backend.
+func Backends() []string { return engine.Backends() }
 
 func (p Params) withDefaults(g *Graph) Params {
 	if p.Eps == 0 {
@@ -132,7 +141,7 @@ type Algorithm struct {
 // disabled), and reports the paper's measures.
 func (alg Algorithm) Run(g *Graph, p Params) (Report, error) {
 	p = p.withDefaults(g)
-	res, err := engine.Run(g, alg.program(p), engine.Options{Seed: p.Seed, MaxRounds: p.MaxRounds})
+	res, err := engine.Run(g, alg.program(p), engine.Options{Seed: p.Seed, MaxRounds: p.MaxRounds, Backend: p.Backend})
 	if err != nil {
 		return Report{}, fmt.Errorf("vavg: %s on %s: %w", alg.Name, g.Name, err)
 	}
