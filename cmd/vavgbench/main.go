@@ -19,16 +19,24 @@ import (
 	"time"
 
 	"vavg/internal/experiments"
+	"vavg/internal/prof"
 )
+
+// stopProfiles finalizes any active pprof profiles; fatal routes through
+// it so profiles survive error exits.
+var stopProfiles = func() {}
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id, or 'all'")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		sizes = flag.String("sizes", "", "comma-separated graph sizes (default per experiment)")
-		seeds = flag.String("seeds", "", "comma-separated seeds (default 1,2,3)")
-		quick = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		jsonF = flag.Bool("json", false, "machine-readable JSON output (supported by -exp backends)")
+		exp     = flag.String("exp", "all", "experiment id, or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		sizes   = flag.String("sizes", "", "comma-separated graph sizes (default per experiment)")
+		seeds   = flag.String("seeds", "", "comma-separated seeds (default 1,2,3)")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		jsonF   = flag.Bool("json", false, "machine-readable JSON output (supported by -exp backends)")
+		workers = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS); never changes results")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -39,8 +47,13 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{W: os.Stdout, Quick: *quick, JSON: *jsonF}
 	var err error
+	if stopProfiles, err = prof.Start(*cpuProf, *memProf); err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
+
+	cfg := experiments.Config{W: os.Stdout, Quick: *quick, JSON: *jsonF, Workers: *workers}
 	if cfg.Sizes, err = parseInts(*sizes); err != nil {
 		fatal(err)
 	}
@@ -97,6 +110,7 @@ func parseInts(s string) ([]int, error) {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "vavgbench:", err)
 	os.Exit(1)
 }

@@ -18,7 +18,12 @@ import (
 	"strings"
 
 	"vavg"
+	"vavg/internal/prof"
 )
+
+// stopProfiles finalizes any active pprof profiles; fatal routes through
+// it so profiles survive error exits.
+var stopProfiles = func() {}
 
 func main() {
 	var (
@@ -35,8 +40,17 @@ func main() {
 		decay   = flag.Bool("decay", false, "print the active-vertex decay")
 		sweep   = flag.String("sweep", "", "comma-separated sizes: run a size sweep instead of a single run")
 		format  = flag.String("format", "csv", "sweep output format: csv|json")
+		workers = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS); never changes results")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	var err error
+	if stopProfiles, err = prof.Start(*cpuProf, *memProf); err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, alg := range vavg.Algorithms() {
@@ -54,7 +68,7 @@ func main() {
 		fatal(err)
 	}
 	if *sweep != "" {
-		if err := runSweep(alg, *family, *sweep, *format, *a, *eps, *k, *c, *seed, *backend); err != nil {
+		if err := runSweep(alg, *family, *sweep, *format, *a, *eps, *k, *c, *seed, *backend, *workers); err != nil {
 			fatal(err)
 		}
 		return
@@ -98,7 +112,7 @@ func main() {
 
 // runSweep measures the algorithm across a size sweep and emits CSV or
 // JSON suitable for plotting.
-func runSweep(alg vavg.Algorithm, family, sizesArg, format string, a int, eps float64, k, c int, seed int64, backend string) error {
+func runSweep(alg vavg.Algorithm, family, sizesArg, format string, a int, eps float64, k, c int, seed int64, backend string, workers int) error {
 	var sizes []int
 	for _, part := range strings.Split(sizesArg, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
@@ -107,14 +121,14 @@ func runSweep(alg vavg.Algorithm, family, sizesArg, format string, a int, eps fl
 		}
 		sizes = append(sizes, v)
 	}
-	gen := func(n int) *vavg.Graph {
+	gen := vavg.CachedGen(fmt.Sprintf("%s|a=%d|seed=%d", family, a, seed), func(n int) *vavg.Graph {
 		g, err := makeGraph(family, n, a, seed)
 		if err != nil {
 			panic(err)
 		}
 		return g
-	}
-	res, err := vavg.Sweep(alg, gen, sizes, nil, vavg.Params{Arboricity: a, Eps: eps, K: k, C: c, Backend: backend})
+	})
+	res, err := vavg.Sweep(alg, gen, sizes, nil, vavg.Params{Arboricity: a, Eps: eps, K: k, C: c, Backend: backend, SweepWorkers: workers})
 	if err != nil {
 		return err
 	}
@@ -168,6 +182,7 @@ func isqrt(n int) int {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "vavgrun:", err)
 	os.Exit(1)
 }

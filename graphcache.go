@@ -1,0 +1,38 @@
+package vavg
+
+import (
+	"fmt"
+
+	"vavg/internal/graph"
+)
+
+// sharedGraphs is the process-wide generated-graph cache behind
+// CachedGen. Experiments typically sweep several algorithms over the same
+// (family, n, generator params) grid; the cache lets them share one
+// generated Graph per grid point instead of regenerating it per
+// algorithm.
+var sharedGraphs = graph.NewCache()
+
+// CachedGen wraps a size-indexed graph generator with the shared
+// read-only graph cache, for use with Sweep. The key must uniquely
+// identify the generator and every parameter that shapes its output
+// besides n — family, arboricity, generator seed — because two generators
+// wrapped with the same key share cache entries. Cached graphs are
+// served to concurrent runs and must never be mutated.
+//
+//	gen := vavg.CachedGen("forests|a=3|seed=7", func(n int) *vavg.Graph {
+//		return vavg.ForestUnion(n, 3, 7)
+//	})
+func CachedGen(key string, gen func(n int) *Graph) func(n int) *Graph {
+	return func(n int) *Graph {
+		return sharedGraphs.Get(fmt.Sprintf("%s|n=%d", key, n), func() *Graph { return gen(n) })
+	}
+}
+
+// GraphCacheStats reports the shared graph cache's hit and miss counts
+// (one miss per generated graph).
+func GraphCacheStats() (hits, misses int) { return sharedGraphs.Stats() }
+
+// GraphCachePurge drops every cached graph, releasing the memory to the
+// collector. Long multi-family sweeps call it between families.
+func GraphCachePurge() { sharedGraphs.Purge() }

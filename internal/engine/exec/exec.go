@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"vavg/internal/graph"
 )
@@ -207,14 +208,41 @@ type cell struct {
 	has  bool
 }
 
+// runScratch holds the per-run engine allocations that never escape into
+// the Result: the two directed-edge slot slabs (the largest allocation of
+// a run, 2*len(Adj) cells) and the per-vertex bookkeeping the backends
+// read at barriers. Recycling them through scratchPool keeps concurrent
+// sweep points from multiplying steady-state allocations by the worker
+// count. Rounds, commitments, and outputs are excluded: Result aliases
+// those arrays, so they must stay owned by the caller.
+type runScratch struct {
+	bufA     []cell
+	bufB     []cell
+	done     []bool
+	msgCount []int64
+	panics   []any
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// reslice returns s resized to n elements and zeroed, reusing its backing
+// array when the capacity allows.
+func reslice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // core is the run state shared by every backend: the double-buffered
 // directed-edge slots plus the per-vertex accounting arrays. All arrays
 // are indexed by vertex (or directed-edge position), so no two vertices
 // ever write the same element and results are scheduling-independent.
 type core struct {
 	g        *graph.Graph
-	bufA     []cell // double-buffered directed-edge slots
-	bufB     []cell
+	scratch  *runScratch
 	sendBuf  []cell // written during the current round
 	recvBuf  []cell // holds the previous round's messages
 	done     []bool // set by a vertex when it terminates (read at barriers)
@@ -229,20 +257,36 @@ type core struct {
 
 func newCore(g *graph.Graph, cfg Config) *core {
 	n := g.N()
+	s := scratchPool.Get().(*runScratch)
+	s.bufA = reslice(s.bufA, len(g.Adj))
+	s.bufB = reslice(s.bufB, len(g.Adj))
+	s.done = reslice(s.done, n)
+	s.msgCount = reslice(s.msgCount, n)
+	s.panics = reslice(s.panics, n)
 	c := &core{
 		g:        g,
-		bufA:     make([]cell, len(g.Adj)),
-		bufB:     make([]cell, len(g.Adj)),
-		done:     make([]bool, n),
+		scratch:  s,
+		done:     s.done,
 		rounds:   make([]int32, n),
 		commits:  make([]int32, n),
 		output:   make([]any, n),
-		msgCount: make([]int64, n),
-		panics:   make([]any, n),
+		msgCount: s.msgCount,
+		panics:   s.panics,
 		seed:     cfg.Seed,
 	}
-	c.sendBuf, c.recvBuf = c.bufA, c.bufB
+	c.sendBuf, c.recvBuf = s.bufA, s.bufB
 	return c
+}
+
+// release returns the run scratch to the pool. Safe only once every
+// vertex goroutine has terminated (finish's callers guarantee that).
+func (c *core) release() {
+	if c.scratch == nil {
+		return
+	}
+	scratchPool.Put(c.scratch)
+	c.scratch = nil
+	c.sendBuf, c.recvBuf, c.done, c.msgCount, c.panics = nil, nil, nil, nil, nil
 }
 
 // swap exchanges the double buffers at a round barrier: what was sent this
@@ -251,8 +295,10 @@ func (c *core) swap() {
 	c.sendBuf, c.recvBuf = c.recvBuf, c.sendBuf
 }
 
-// finish audits panics and assembles the Result once every vertex is done.
+// finish audits panics and assembles the Result once every vertex is
+// done, then recycles the run scratch.
 func (c *core) finish(activePerRound []int, maxRounds int) (*Result, error) {
+	defer c.release()
 	n := c.g.N()
 	for v := 0; v < n; v++ {
 		if p := c.panics[v]; p != nil {
@@ -322,6 +368,7 @@ func runVertex(rt runtime, c *core, v int32, prog Program, done func()) {
 	}
 	defer func() {
 		if p := recover(); p != nil {
+			api.releaseOutbox()
 			c.panics[v] = p
 			c.done[v] = true
 			done()
@@ -330,6 +377,7 @@ func runVertex(rt runtime, c *core, v int32, prog Program, done func()) {
 	out := prog(api)
 	api.Broadcast(Final{Output: out})
 	api.flush()
+	api.releaseOutbox()
 	api.round++
 	c.rounds[v] = api.round
 	c.output[v] = out
@@ -383,14 +431,31 @@ func (a *API) Commit() {
 	}
 }
 
+// outboxPool recycles outbox maps across vertices and runs: under a
+// parallel sweep every concurrent run would otherwise allocate one map
+// per sending vertex. Maps are returned cleared (flush empties them;
+// releaseOutbox clears defensively for the panic path).
+var outboxPool = sync.Pool{New: func() any { return make(map[int32]any) }}
+
 // Send queues data for the k-th neighbor (index into NeighborIDs); it is
 // delivered when the current round completes at the next Next call.
 // Sending again to the same neighbor in the same round overwrites.
 func (a *API) Send(k int, data any) {
 	if a.outbox == nil {
-		a.outbox = make(map[int32]any, a.Degree())
+		a.outbox = outboxPool.Get().(map[int32]any)
 	}
 	a.outbox[int32(k)] = data
+}
+
+// releaseOutbox returns the vertex's outbox map to the pool once the
+// vertex can no longer send (termination or panic).
+func (a *API) releaseOutbox() {
+	if a.outbox == nil {
+		return
+	}
+	clear(a.outbox)
+	outboxPool.Put(a.outbox)
+	a.outbox = nil
 }
 
 // SendID queues data for the neighbor with vertex ID nbr; it panics if nbr

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	gort "runtime"
+	"sort"
 	"testing"
 
 	"vavg/internal/graph"
@@ -314,5 +315,47 @@ func TestSelect(t *testing.T) {
 	want := []string{"goroutines", "pool"}
 	if !reflect.DeepEqual(Names(), want) {
 		t.Errorf("Names() = %v, want %v", Names(), want)
+	}
+}
+
+// TestScratchReuseIsClean exercises the sync.Pool run-scratch recycling:
+// interleaved runs of different sizes and programs on both backends must
+// reproduce the results of fresh first runs exactly, proving recycled
+// cell slabs, done flags, and message counters carry no state between
+// runs (shrinking reslices must zero the reused prefix).
+func TestScratchReuseIsClean(t *testing.T) {
+	withShards(t, 4)
+	progs := testPrograms()
+	graphs := testGraphs()
+	// Fresh baselines, one per (graph, program).
+	type cellKey struct{ g, p string }
+	base := map[cellKey]*Result{}
+	order := []cellKey{}
+	for gname := range graphs {
+		for pname := range progs {
+			order = append(order, cellKey{gname, pname})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].g != order[j].g {
+			return order[i].g < order[j].g
+		}
+		return order[i].p < order[j].p
+	})
+	cfg := Config{Seed: 13, MaxRounds: 1 << 20}
+	for _, k := range order {
+		rg, rp := runBoth(t, graphs[k.g], progs[k.p], cfg)
+		requireEqualResults(t, "baseline/"+k.g+"/"+k.p, rg, rp)
+		base[k] = rg
+	}
+	// Re-run the whole matrix twice more: every run now draws recycled
+	// scratch whose previous occupant had a different size or program.
+	for pass := 0; pass < 2; pass++ {
+		for i := len(order) - 1; i >= 0; i-- {
+			k := order[i]
+			rg, rp := runBoth(t, graphs[k.g], progs[k.p], cfg)
+			requireEqualResults(t, fmt.Sprintf("reuse%d/%s/%s vs pool", pass, k.g, k.p), rg, rp)
+			requireEqualResults(t, fmt.Sprintf("reuse%d/%s/%s vs fresh", pass, k.g, k.p), base[k], rg)
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"vavg"
 	"vavg/internal/engine"
 	"vavg/internal/metrics"
+	"vavg/internal/parallel"
 )
 
 // BackendPoint is one (backend, algorithm, family, n) measurement of the
@@ -36,7 +37,21 @@ type BackendPoint struct {
 type BackendBench struct {
 	GoVersion  string         `json:"goVersion"`
 	GoMaxProcs int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"numCPU"`
 	Points     []BackendPoint `json:"points"`
+	// SweepTimings compares dispatching the full benchmark matrix through
+	// the sweep scheduler serially (workers=1) and in parallel
+	// (cfg.Workers); the parallel entry's Speedup is serial wall time over
+	// its own. Absent when the run was configured with one worker.
+	SweepTimings []SweepTiming `json:"sweepTimings,omitempty"`
+}
+
+// SweepTiming is one wall-clock measurement of the whole benchmark matrix
+// dispatched through the sweep scheduler at a fixed worker count.
+type SweepTiming struct {
+	Workers int     `json:"workers"`
+	WallMs  float64 `json:"wallMs"`
+	Speedup float64 `json:"speedup"`
 }
 
 // backendFamilies are the graph families the backend benchmark sweeps;
@@ -60,14 +75,17 @@ var backendFamilies = []struct {
 var backendAlgs = []string{"partition", "arblinial-o1", "ka2"}
 
 // RunBackendBench measures every registered engine backend on the default
-// algorithm/family matrix across cfg.Sizes.
+// algorithm/family matrix across cfg.Sizes. The per-point wall and memory
+// measurements run strictly serially — concurrent runs would contend for
+// cores and corrupt them; the sweep-scheduler throughput comparison is
+// measured separately by measureSweepTimings.
 func RunBackendBench(cfg Config) (*BackendBench, error) {
 	cfg = cfg.withDefaults()
 	seed := cfg.Seeds[0]
-	bench := &BackendBench{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	bench := &BackendBench{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	for _, fam := range backendFamilies {
 		for _, n := range cfg.Sizes {
-			g := fam.Gen(n)
+			g := cachedGraph(fmt.Sprintf("%s|n=%d", fam.Name, n), func() *vavg.Graph { return fam.Gen(n) })
 			for _, name := range backendAlgs {
 				alg, err := vavg.ByName(name)
 				if err != nil {
@@ -83,7 +101,75 @@ func RunBackendBench(cfg Config) (*BackendBench, error) {
 			}
 		}
 	}
+	var err error
+	if bench.SweepTimings, err = measureSweepTimings(cfg); err != nil {
+		return nil, err
+	}
 	return bench, nil
+}
+
+// sweepMatrix builds the benchmark matrix as schedulable run points, one
+// per (family, n, algorithm, backend), sharing one cached graph per
+// (family, n) and skipping validation so only the engine is on the clock.
+func sweepMatrix(cfg Config) ([]runPoint, error) {
+	seed := cfg.Seeds[0]
+	var points []runPoint
+	for _, fam := range backendFamilies {
+		for _, n := range cfg.Sizes {
+			g := cachedGraph(fmt.Sprintf("%s|n=%d", fam.Name, n), func() *vavg.Graph { return fam.Gen(n) })
+			for _, name := range backendAlgs {
+				alg, err := vavg.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				for _, backend := range engine.Backends() {
+					points = append(points, runPoint{alg, g, vavg.Params{
+						Arboricity: fam.A, Seed: seed, Backend: backend, SkipValidation: true,
+					}})
+				}
+			}
+		}
+	}
+	return points, nil
+}
+
+// measureSweepTimings times the full benchmark matrix dispatched through
+// the sweep scheduler, first serially (workers=1), then at the configured
+// worker count when it differs. This is the throughput measure the
+// parallel scheduler optimizes: on a W-core machine the parallel dispatch
+// should approach min(W, workers)x the serial wall time, while on a
+// single-core machine it stays near 1x (the matrix is CPU-bound).
+func measureSweepTimings(cfg Config) ([]SweepTiming, error) {
+	points, err := sweepMatrix(cfg)
+	if err != nil {
+		return nil, err
+	}
+	counts := []int{1}
+	if w := parallel.Workers(cfg.Workers, len(points)); w > 1 {
+		counts = append(counts, w)
+	}
+	var out []SweepTiming
+	for _, workers := range counts {
+		runtime.GC()
+		errs := make([]error, len(points))
+		start := time.Now()
+		parallel.ForEach(workers, len(points), func(i int) {
+			pt := points[i]
+			_, errs[i] = pt.alg.Run(pt.g, pt.p)
+		})
+		wall := float64(time.Since(start).Nanoseconds()) / 1e6
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("backends: sweep timing (workers=%d): %w", workers, err)
+			}
+		}
+		speedup := 1.0
+		if len(out) > 0 && wall > 0 {
+			speedup = out[0].WallMs / wall
+		}
+		out = append(out, SweepTiming{Workers: workers, WallMs: wall, Speedup: speedup})
+	}
+	return out, nil
 }
 
 // measureBackend times one run with validation disabled so only the engine
@@ -176,6 +262,17 @@ func runBackends(cfg Config) error {
 	}
 	metrics.Table(cfg.W, []string{"backend", "algorithm", "family", "n",
 		"vertex-avg", "rounds", "wall ms", "ns/vertex-round", "peak MiB"}, rows)
+	if len(bench.SweepTimings) > 0 {
+		fmt.Fprintf(cfg.W, "\nsweep scheduler (full matrix, %d CPUs):\n", bench.NumCPU)
+		var trows [][]string
+		for _, t := range bench.SweepTimings {
+			trows = append(trows, []string{
+				metrics.I(t.Workers), fmt.Sprintf("%.1f", t.WallMs),
+				fmt.Sprintf("%.2fx", t.Speedup),
+			})
+		}
+		metrics.Table(cfg.W, []string{"workers", "wall ms", "speedup"}, trows)
+	}
 	return nil
 }
 

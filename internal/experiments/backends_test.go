@@ -38,3 +38,69 @@ func TestBackendBenchJSON(t *testing.T) {
 		t.Errorf("missing environment metadata: %+v", bench)
 	}
 }
+
+// TestBackendBenchSweepTimings checks the serial-vs-parallel artifact
+// rows: a multi-worker run must record a serial (workers=1) baseline plus
+// one parallel entry at the configured count, with speedup relative to
+// the baseline; a one-worker run must omit the section entirely.
+func TestBackendBenchSweepTimings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("backend bench is not short")
+	}
+	cfg := Config{Sizes: []int{160}, Seeds: []int64{3}, Workers: 4}.withDefaults()
+	bench, err := RunBackendBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.NumCPU <= 0 {
+		t.Errorf("NumCPU = %d, want > 0", bench.NumCPU)
+	}
+	if len(bench.SweepTimings) != 2 {
+		t.Fatalf("got %d sweep timings, want 2: %+v", len(bench.SweepTimings), bench.SweepTimings)
+	}
+	serial, par := bench.SweepTimings[0], bench.SweepTimings[1]
+	if serial.Workers != 1 || serial.Speedup != 1 {
+		t.Errorf("serial baseline = %+v, want workers=1 speedup=1", serial)
+	}
+	if par.Workers != 4 || par.WallMs <= 0 || par.Speedup <= 0 {
+		t.Errorf("parallel entry = %+v, want workers=4 with positive wall and speedup", par)
+	}
+
+	cfg.Workers = 1
+	bench, err = RunBackendBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.SweepTimings) != 1 || bench.SweepTimings[0].Workers != 1 {
+		t.Errorf("one-worker run recorded %+v, want just the serial entry", bench.SweepTimings)
+	}
+}
+
+// TestExperimentsParallelMatchesSerial renders every experiment with the
+// scheduler serial and with eight workers; the outputs must be
+// byte-identical. This is the experiments-level half of the determinism
+// contract (vavg.Sweep has the registry-level half).
+func TestExperimentsParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment equivalence run is not short")
+	}
+	for _, e := range All() {
+		if e.ID == "backends" {
+			continue // wall-clock measurements are never byte-stable
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var outs [2]string
+			for i, workers := range []int{1, 8} {
+				var sb strings.Builder
+				if err := e.Run(Config{Quick: true, W: &sb, Workers: workers}); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				outs[i] = sb.String()
+			}
+			if outs[0] != outs[1] {
+				t.Errorf("parallel output differs from serial:\nserial:\n%s\nparallel:\n%s", outs[0], outs[1])
+			}
+		})
+	}
+}

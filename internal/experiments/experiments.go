@@ -20,7 +20,9 @@ import (
 	"vavg/internal/baseline"
 	"vavg/internal/coloring"
 	"vavg/internal/engine"
+	"vavg/internal/graph"
 	"vavg/internal/metrics"
+	"vavg/internal/parallel"
 	"vavg/internal/segment"
 )
 
@@ -36,6 +38,12 @@ type Config struct {
 	// JSON switches experiments that support it (currently "backends") to
 	// machine-readable output instead of rendered tables.
 	JSON bool
+	// Workers bounds the sweep scheduler's concurrency: every experiment
+	// fans its independent (algorithm, graph, seed) run points across this
+	// many goroutines. 0 means runtime.GOMAXPROCS. Worker count never
+	// changes rendered output — results are collected by point index, and
+	// each point derives its PRNG streams from its own seed.
+	Workers int
 	// W receives the rendered tables.
 	W io.Writer
 }
@@ -110,18 +118,73 @@ func Find(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
 }
 
-// medianRun executes the algorithm across seeds and reports the median.
-func medianRun(alg vavg.Algorithm, g *vavg.Graph, p vavg.Params, seeds []int64) (metrics.Run, error) {
-	var runs []metrics.Run
-	for _, s := range seeds {
-		p.Seed = s
-		rep, err := alg.Run(g, p)
+// graphCache shares generated graphs across the algorithms and
+// experiments that sweep the same (family, n, params) grid; see
+// cachedGraph for the keying convention.
+var graphCache = graph.NewCache()
+
+// cachedGraph returns the graph cached under key, generating it on first
+// use. The key must encode the family and every generator parameter
+// (size, arboricity, seed); cached graphs are shared by concurrent runs
+// and are strictly read-only.
+func cachedGraph(key string, gen func() *vavg.Graph) *vavg.Graph {
+	return graphCache.Get(key, gen)
+}
+
+// forestCached is the cache entry point for the workhorse family.
+func forestCached(n, a int, seed int64) *vavg.Graph {
+	return cachedGraph(fmt.Sprintf("forests|n=%d|a=%d|seed=%d", n, a, seed),
+		func() *vavg.Graph { return vavg.ForestUnion(n, a, seed) })
+}
+
+// runPoint is one (algorithm, graph, params) cell of an experiment table.
+type runPoint struct {
+	alg vavg.Algorithm
+	g   *vavg.Graph
+	p   vavg.Params
+}
+
+// medianRuns is the sweep scheduler: it executes every point across every
+// seed on a bounded worker pool (cfg.Workers) and returns each point's
+// seed-median, in point order. Dispatch is by (point, seed) index, so the
+// rendered tables are byte-identical at any worker count; on error the
+// lowest-indexed failure wins, also deterministically.
+func (cfg Config) medianRuns(points []runPoint) ([]metrics.Run, error) {
+	seeds := cfg.Seeds
+	total := len(points) * len(seeds)
+	runs := make([]metrics.Run, total)
+	errs := make([]error, total)
+	parallel.ForEach(parallel.Workers(cfg.Workers, total), total, func(i int) {
+		pt := points[i/len(seeds)]
+		p := pt.p
+		p.Seed = seeds[i%len(seeds)]
+		rep, err := pt.alg.Run(pt.g, p)
 		if err != nil {
-			return metrics.Run{}, err
+			errs[i] = err
+			return
 		}
-		runs = append(runs, rep)
+		runs[i] = rep
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	return metrics.Median(runs), nil
+	out := make([]metrics.Run, len(points))
+	for i := range points {
+		out[i] = metrics.Median(runs[i*len(seeds) : (i+1)*len(seeds)])
+	}
+	return out, nil
+}
+
+// medianRun executes one algorithm across cfg.Seeds (in parallel) and
+// reports the median.
+func (cfg Config) medianRun(alg vavg.Algorithm, g *vavg.Graph, p vavg.Params) (metrics.Run, error) {
+	meds, err := cfg.medianRuns([]runPoint{{alg, g, p}})
+	if err != nil {
+		return metrics.Run{}, err
+	}
+	return meds[0], nil
 }
 
 // sweepRow formats one (algorithm, graph) measurement.
@@ -136,25 +199,33 @@ func sweepRow(name string, n int, r metrics.Run) []string {
 var sweepHeader = []string{"algorithm", "n", "vertex-avg", "worst-case", "colors"}
 
 // sweep runs each named algorithm over the size sweep on forest-union
-// graphs of the given arboricity and renders the combined table.
+// graphs of the given arboricity and renders the combined table. The
+// algorithms share one cached graph per size, and all (algorithm, size,
+// seed) points go through the parallel scheduler.
 func sweep(cfg Config, names []string, a int, p vavg.Params) error {
 	cfg = cfg.withDefaults()
-	var rows [][]string
+	var points []runPoint
+	var labels []string
 	for _, name := range names {
 		alg, err := vavg.ByName(name)
 		if err != nil {
 			return err
 		}
 		for _, n := range cfg.Sizes {
-			g := vavg.ForestUnion(n, a, int64(n)*31+int64(a))
+			g := forestCached(n, a, int64(n)*31+int64(a))
 			pp := p
 			pp.Arboricity = a
-			r, err := medianRun(alg, g, pp, cfg.Seeds)
-			if err != nil {
-				return err
-			}
-			rows = append(rows, sweepRow(name, n, r))
+			points = append(points, runPoint{alg, g, pp})
+			labels = append(labels, name)
 		}
+	}
+	meds, err := cfg.medianRuns(points)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for i, r := range meds {
+		rows = append(rows, sweepRow(labels[i], points[i].g.N(), r))
 	}
 	metrics.Table(cfg.W, sweepHeader, rows)
 	return nil
@@ -185,14 +256,19 @@ func runPartitionDecay(cfg Config) error {
 	// geometric level sizes keep the average O(1) — Theorem 6.3's gap on a
 	// single run.
 	fmt.Fprintln(cfg.W, "\nk-ary tree exhibit (a=1, eps=1, k=6 > A):")
-	var rows [][]string
+	var points []runPoint
 	for _, n := range cfg.Sizes {
-		kg := vavg.KaryTree(n, 6)
-		r, err := medianRun(alg, kg, vavg.Params{Arboricity: 1, Eps: 1}, cfg.Seeds)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, sweepRow("partition[6-ary tree]", n, r))
+		kg := cachedGraph(fmt.Sprintf("karytree|n=%d|k=6", n),
+			func() *vavg.Graph { return vavg.KaryTree(n, 6) })
+		points = append(points, runPoint{alg, kg, vavg.Params{Arboricity: 1, Eps: 1}})
+	}
+	meds, err := cfg.medianRuns(points)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for i, r := range meds {
+		rows = append(rows, sweepRow("partition[6-ary tree]", cfg.Sizes[i], r))
 	}
 	metrics.Table(cfg.W, sweepHeader, rows)
 	return nil
@@ -223,14 +299,19 @@ func runKA2(cfg Config) error {
 
 func runA2LogStar(cfg Config) error {
 	cfg = cfg.withDefaults()
-	var rows [][]string
 	alg, _ := vavg.ByName("ka2")
+	var points []runPoint
 	for _, n := range cfg.Sizes {
-		g := vavg.ForestUnion(n, 2, int64(n))
-		r, err := medianRun(alg, g, vavg.Params{Arboricity: 2, K: coloring.Rho(n)}, cfg.Seeds)
-		if err != nil {
-			return err
-		}
+		points = append(points, runPoint{alg, forestCached(n, 2, int64(n)),
+			vavg.Params{Arboricity: 2, K: coloring.Rho(n)}})
+	}
+	meds, err := cfg.medianRuns(points)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for i, r := range meds {
+		n := cfg.Sizes[i]
 		rows = append(rows, sweepRow(fmt.Sprintf("ka2[k=ρ=%d]", coloring.Rho(n)), n, r))
 	}
 	metrics.Table(cfg.W, sweepHeader, rows)
@@ -245,15 +326,19 @@ func runKA(cfg Config) error {
 	// Arboricity sweep at fixed n: the vertex average should scale with a.
 	fmt.Fprintln(cfg.W, "\narboricity sweep (fixed n):")
 	n := cfg.Sizes[len(cfg.Sizes)/2]
-	var rows [][]string
 	alg, _ := vavg.ByName("ka")
+	var points []runPoint
 	for _, a := range arbs(cfg) {
-		g := vavg.ForestUnion(n, a, int64(a)*7)
-		r, err := medianRun(alg, g, vavg.Params{Arboricity: a}, cfg.Seeds)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, []string{fmt.Sprintf("ka[a=%d]", a), metrics.I(n),
+		points = append(points, runPoint{alg, forestCached(n, a, int64(a)*7),
+			vavg.Params{Arboricity: a}})
+	}
+	meds, err := cfg.medianRuns(points)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for i, r := range meds {
+		rows = append(rows, []string{fmt.Sprintf("ka[a=%d]", arbs(cfg)[i]), metrics.I(n),
 			metrics.F(r.VertexAvg), metrics.I(r.WorstCase), metrics.I(r.Colors)})
 	}
 	metrics.Table(cfg.W, sweepHeader, rows)
@@ -269,14 +354,19 @@ func arbs(cfg Config) []int {
 
 func runALogStar(cfg Config) error {
 	cfg = cfg.withDefaults()
-	var rows [][]string
 	alg, _ := vavg.ByName("ka")
+	var points []runPoint
 	for _, n := range cfg.Sizes {
-		g := vavg.ForestUnion(n, 2, int64(n))
-		r, err := medianRun(alg, g, vavg.Params{Arboricity: 2, K: coloring.Rho(n)}, cfg.Seeds)
-		if err != nil {
-			return err
-		}
+		points = append(points, runPoint{alg, forestCached(n, 2, int64(n)),
+			vavg.Params{Arboricity: 2, K: coloring.Rho(n)}})
+	}
+	meds, err := cfg.medianRuns(points)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for i, r := range meds {
+		n := cfg.Sizes[i]
 		rows = append(rows, sweepRow(fmt.Sprintf("ka[k=ρ=%d]", coloring.Rho(n)), n, r))
 	}
 	metrics.Table(cfg.W, sweepHeader, rows)
@@ -290,15 +380,19 @@ func runOnePlusEta(cfg Config) error {
 	}
 	fmt.Fprintln(cfg.W, "\narboricity sweep (fixed n):")
 	n := cfg.Sizes[len(cfg.Sizes)/2]
-	var rows [][]string
 	alg, _ := vavg.ByName("one-plus-eta")
+	var points []runPoint
 	for _, a := range arbs(cfg) {
-		g := vavg.ForestUnion(n, a, int64(a)*13)
-		r, err := medianRun(alg, g, vavg.Params{Arboricity: a}, cfg.Seeds)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, []string{fmt.Sprintf("one-plus-eta[a=%d]", a), metrics.I(n),
+		points = append(points, runPoint{alg, forestCached(n, a, int64(a)*13),
+			vavg.Params{Arboricity: a}})
+	}
+	meds, err := cfg.medianRuns(points)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for i, r := range meds {
+		rows = append(rows, []string{fmt.Sprintf("one-plus-eta[a=%d]", arbs(cfg)[i]), metrics.I(n),
 			metrics.F(r.VertexAvg), metrics.I(r.WorstCase), metrics.I(r.Colors)})
 	}
 	metrics.Table(cfg.W, sweepHeader, rows)
@@ -314,20 +408,25 @@ func runDP1Det(cfg Config) error {
 		return err
 	}
 	fmt.Fprintln(cfg.W, "\nΔ sweep at constant arboricity (star forests):")
-	var rows [][]string
 	alg, _ := vavg.ByName("deltaplus1-det")
 	n := cfg.Sizes[len(cfg.Sizes)/2]
 	deltas := []int{4, 16, 64, 256}
 	if cfg.Quick {
 		deltas = []int{4, 16}
 	}
+	var points []runPoint
 	for _, k := range deltas {
-		g := vavg.StarForest(n, k)
-		r, err := medianRun(alg, g, vavg.Params{Arboricity: 2}, cfg.Seeds)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, []string{fmt.Sprintf("deltaplus1-det[Δ≈%d]", k), metrics.I(n),
+		g := cachedGraph(fmt.Sprintf("starforest|n=%d|k=%d", n, k),
+			func() *vavg.Graph { return vavg.StarForest(n, k) })
+		points = append(points, runPoint{alg, g, vavg.Params{Arboricity: 2}})
+	}
+	meds, err := cfg.medianRuns(points)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for i, r := range meds {
+		rows = append(rows, []string{fmt.Sprintf("deltaplus1-det[Δ≈%d]", deltas[i]), metrics.I(n),
 			metrics.F(r.VertexAvg), metrics.I(r.WorstCase), metrics.I(r.Colors)})
 	}
 	metrics.Table(cfg.W, sweepHeader, rows)
@@ -401,7 +500,8 @@ func runRingReference(cfg Config) error {
 			fmt.Sprintf("log2 n = %.1f", math.Log2(float64(ln)))})
 
 		alg, _ := vavg.ByName("ring-3color")
-		r, err := medianRun(alg, vavg.Ring(n), vavg.Params{Arboricity: 2}, cfg.Seeds)
+		ring := cachedGraph(fmt.Sprintf("ring|n=%d", n), func() *vavg.Graph { return vavg.Ring(n) })
+		r, err := cfg.medianRun(alg, ring, vavg.Params{Arboricity: 2})
 		if err != nil {
 			return err
 		}
@@ -418,8 +518,7 @@ func runTable1(cfg Config) error {
 	cfg = cfg.withDefaults()
 	n := cfg.Sizes[len(cfg.Sizes)-1]
 	a := 3
-	g := vavg.ForestUnion(n, a, 99)
-	rows := [][]string{}
+	g := forestCached(n, a, 99)
 	entries := []struct {
 		name string
 		p    vavg.Params
@@ -440,6 +539,7 @@ func runTable1(cfg Config) error {
 		{"iterated-arblinial-wc", vavg.Params{}},
 		{"arbcolor-wc", vavg.Params{}},
 	}
+	var points []runPoint
 	for _, e := range entries {
 		alg, err := vavg.ByName(e.name)
 		if err != nil {
@@ -447,10 +547,15 @@ func runTable1(cfg Config) error {
 		}
 		p := e.p
 		p.Arboricity = a
-		r, err := medianRun(alg, g, p, cfg.Seeds)
-		if err != nil {
-			return err
-		}
+		points = append(points, runPoint{alg, g, p})
+	}
+	meds, err := cfg.medianRuns(points)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for i, r := range meds {
+		e, alg := entries[i], points[i].alg
 		label := e.name
 		if e.p.K > 2 {
 			label = fmt.Sprintf("%s[k=%d]", e.name, e.p.K)
@@ -469,22 +574,27 @@ func runTable2(cfg Config) error {
 	cfg = cfg.withDefaults()
 	n := cfg.Sizes[len(cfg.Sizes)-1]
 	a := 3
-	g := vavg.ForestUnion(n, a, 99)
-	rows := [][]string{}
+	g := forestCached(n, a, 99)
+	var points []runPoint
 	for _, name := range []string{"mis", "edgecolor", "matching", "mis-wc", "mis-luby"} {
 		alg, err := vavg.ByName(name)
 		if err != nil {
 			return err
 		}
-		r, err := medianRun(alg, g, vavg.Params{Arboricity: a}, cfg.Seeds)
-		if err != nil {
-			return err
-		}
+		points = append(points, runPoint{alg, g, vavg.Params{Arboricity: a}})
+	}
+	meds, err := cfg.medianRuns(points)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for i, r := range meds {
+		alg := points[i].alg
 		size := "-"
 		if r.Size >= 0 {
 			size = metrics.I(r.Size)
 		}
-		rows = append(rows, []string{name, alg.Paper, alg.VertexAvgBound,
+		rows = append(rows, []string{alg.Name, alg.Paper, alg.VertexAvgBound,
 			metrics.F(r.VertexAvg), metrics.I(r.WorstCase), size})
 	}
 	fmt.Fprintf(cfg.W, "Table 2 (MIS / edge coloring / matching) measured at n=%d, a=%d:\n", n, a)
@@ -499,21 +609,27 @@ func runTable2(cfg Config) error {
 func runAblationEps(cfg Config) error {
 	cfg = cfg.withDefaults()
 	n := cfg.Sizes[len(cfg.Sizes)/2]
-	g := vavg.ForestUnion(n, 3, 41)
-	var rows [][]string
+	g := forestCached(n, 3, 41)
+	var points []runPoint
+	var labels []string
 	for _, name := range []string{"partition", "arblinial-o1"} {
 		alg, err := vavg.ByName(name)
 		if err != nil {
 			return err
 		}
 		for _, eps := range []float64{0.25, 0.5, 1, 2} {
-			r, err := medianRun(alg, g, vavg.Params{Arboricity: 3, Eps: eps}, cfg.Seeds)
-			if err != nil {
-				return err
-			}
-			rows = append(rows, []string{fmt.Sprintf("%s[eps=%.2f]", name, eps), metrics.I(n),
-				metrics.F(r.VertexAvg), metrics.I(r.WorstCase), colorsCell(r)})
+			points = append(points, runPoint{alg, g, vavg.Params{Arboricity: 3, Eps: eps}})
+			labels = append(labels, fmt.Sprintf("%s[eps=%.2f]", name, eps))
 		}
+	}
+	meds, err := cfg.medianRuns(points)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for i, r := range meds {
+		rows = append(rows, []string{labels[i], metrics.I(n),
+			metrics.F(r.VertexAvg), metrics.I(r.WorstCase), colorsCell(r)})
 	}
 	metrics.Table(cfg.W, sweepHeader, rows)
 	return nil
@@ -532,22 +648,28 @@ func colorsCell(r metrics.Run) string {
 func runAblationK(cfg Config) error {
 	cfg = cfg.withDefaults()
 	n := cfg.Sizes[len(cfg.Sizes)/2]
-	g := vavg.ForestUnion(n, 3, 43)
+	g := forestCached(n, 3, 43)
 	rho := coloring.Rho(n)
-	var rows [][]string
+	var points []runPoint
+	var labels []string
 	for _, name := range []string{"ka2", "ka"} {
 		alg, err := vavg.ByName(name)
 		if err != nil {
 			return err
 		}
 		for k := 2; k <= rho; k++ {
-			r, err := medianRun(alg, g, vavg.Params{Arboricity: 3, K: k}, cfg.Seeds)
-			if err != nil {
-				return err
-			}
-			rows = append(rows, []string{fmt.Sprintf("%s[k=%d]", name, k), metrics.I(n),
-				metrics.F(r.VertexAvg), metrics.I(r.WorstCase), metrics.I(r.Colors)})
+			points = append(points, runPoint{alg, g, vavg.Params{Arboricity: 3, K: k}})
+			labels = append(labels, fmt.Sprintf("%s[k=%d]", name, k))
 		}
+	}
+	meds, err := cfg.medianRuns(points)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for i, r := range meds {
+		rows = append(rows, []string{labels[i], metrics.I(n),
+			metrics.F(r.VertexAvg), metrics.I(r.WorstCase), metrics.I(r.Colors)})
 	}
 	metrics.Table(cfg.W, sweepHeader, rows)
 	return nil

@@ -1,0 +1,71 @@
+package graph
+
+import "sync"
+
+// Cache is a concurrency-safe, fill-once cache of generated graphs. An
+// experiment typically compares several algorithms over the same
+// (family, n, generator params) grid; the cache lets those runs share one
+// generated *Graph instead of regenerating it per algorithm.
+//
+// The key must uniquely identify the generator and every parameter that
+// shapes its output (family, size, arboricity, seed, ...): two fills under
+// the same key are assumed interchangeable, and only the first generator
+// ever runs. Cached graphs are shared by concurrent runs and must be
+// treated as strictly read-only, which Graph's API already guarantees for
+// well-behaved callers; the race-mode cache tests guard the contract.
+type Cache struct {
+	mu     sync.Mutex
+	m      map[string]*cacheEntry
+	hits   int
+	misses int
+}
+
+type cacheEntry struct {
+	once sync.Once
+	g    *Graph
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{m: map[string]*cacheEntry{}} }
+
+// Get returns the graph cached under key, generating it with gen on the
+// first request. Concurrent Gets for the same key run gen exactly once;
+// the other callers block until the fill completes and then share the
+// same *Graph.
+func (c *Cache) Get(key string, gen func() *Graph) *Graph {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.m[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.g = gen() })
+	return e.g
+}
+
+// Len returns the number of cached keys.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats returns how many Gets were served from the cache (hits) and how
+// many triggered a fill (misses).
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Purge drops every cached graph, releasing the memory to the collector.
+// Long sweeps over many large sizes call it between families.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = map[string]*cacheEntry{}
+}

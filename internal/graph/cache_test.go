@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheFillsOnceAndShares(t *testing.T) {
+	c := NewCache()
+	var calls int32
+	gen := func() *Graph {
+		atomic.AddInt32(&calls, 1)
+		return ForestUnion(200, 3, 7)
+	}
+	g1 := c.Get("forests|n=200|a=3|seed=7", gen)
+	g2 := c.Get("forests|n=200|a=3|seed=7", gen)
+	if g1 != g2 {
+		t.Error("cache returned distinct graphs for one key")
+	}
+	if calls != 1 {
+		t.Errorf("generator ran %d times, want 1", calls)
+	}
+	g3 := c.Get("forests|n=200|a=3|seed=8", func() *Graph { return ForestUnion(200, 3, 8) })
+	if g3 == g1 {
+		t.Error("distinct keys must not share a graph")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 2 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 2)", hits, misses)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("Len after Purge = %d, want 0", c.Len())
+	}
+}
+
+// TestCacheConcurrentReadOnly is the immutability guard for shared cached
+// graphs: many goroutines request the same key while concurrently walking
+// the returned graph's structure the way algorithm runs do. Under
+// `go test -race` any write to the shared graph — a second generator run,
+// or a reader mutating adjacency — is reported.
+func TestCacheConcurrentReadOnly(t *testing.T) {
+	c := NewCache()
+	var calls int32
+	const goroutines = 24
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := c.Get("shared", func() *Graph {
+				atomic.AddInt32(&calls, 1)
+				return ForestUnion(300, 3, 11)
+			})
+			// Structural reads concurrent algorithm runs perform.
+			_ = Degeneracy(g)
+			_ = g.MaxDegree()
+			deg := 0
+			for u := 0; u < g.N(); u++ {
+				for range g.Neighbors(u) {
+					deg++
+				}
+			}
+			if deg != 2*g.M() {
+				t.Errorf("adjacency walk saw %d half-edges, want %d", deg, 2*g.M())
+			}
+		}()
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Errorf("generator ran %d times under contention, want 1", calls)
+	}
+	hits, misses := c.Stats()
+	if hits+misses != goroutines || misses != 1 {
+		t.Errorf("stats = (%d hits, %d misses), want (%d, 1)", hits, misses, goroutines-1)
+	}
+}
+
+func TestCacheDistinctKeysFillConcurrently(t *testing.T) {
+	c := NewCache()
+	var wg sync.WaitGroup
+	graphs := make([]*Graph, 8)
+	for i := range graphs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			graphs[i] = c.Get(fmt.Sprintf("ring|n=%d", 32+i), func() *Graph { return Ring(32 + i) })
+		}(i)
+	}
+	wg.Wait()
+	for i, g := range graphs {
+		if g.N() != 32+i {
+			t.Errorf("key %d produced n=%d, want %d", i, g.N(), 32+i)
+		}
+	}
+}

@@ -64,6 +64,8 @@ func Median(runs []Run) Run {
 	out.WorstCase = int(medianF(collect(runs, func(r Run) float64 { return float64(r.WorstCase) })))
 	out.Colors = int(medianF(collect(runs, func(r Run) float64 { return float64(r.Colors) })))
 	out.Size = int(medianF(collect(runs, func(r Run) float64 { return float64(r.Size) })))
+	out.RoundSum = int64(medianF(collect(runs, func(r Run) float64 { return float64(r.RoundSum) })))
+	out.Messages = int64(medianF(collect(runs, func(r Run) float64 { return float64(r.Messages) })))
 	out.Seed = -1
 	return out
 }

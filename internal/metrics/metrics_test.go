@@ -22,13 +22,18 @@ func TestFromResultAndMedian(t *testing.T) {
 	}
 
 	runs := []Run{
-		{VertexAvg: 1, WorstCase: 10, Colors: 5},
-		{VertexAvg: 3, WorstCase: 30, Colors: 7},
-		{VertexAvg: 2, WorstCase: 20, Colors: 6},
+		{VertexAvg: 1, WorstCase: 10, Colors: 5, RoundSum: 100, Messages: 40},
+		{VertexAvg: 3, WorstCase: 30, Colors: 7, RoundSum: 300, Messages: 90},
+		{VertexAvg: 2, WorstCase: 20, Colors: 6, RoundSum: 200, Messages: 50},
 	}
 	m := Median(runs)
 	if m.VertexAvg != 2 || m.WorstCase != 20 || m.Colors != 6 {
 		t.Errorf("Median wrong: %+v", m)
+	}
+	// Every aggregated field is the per-seed median, not the first seed's
+	// value — Messages used to leak runs[0].
+	if m.Messages != 50 || m.RoundSum != 200 {
+		t.Errorf("Median Messages/RoundSum = %d/%d, want 50/200", m.Messages, m.RoundSum)
 	}
 	if Median(nil).VertexAvg != 0 {
 		t.Error("Median of empty should be zero value")

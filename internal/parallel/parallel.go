@@ -1,0 +1,65 @@
+// Package parallel is the bounded worker pool behind the sweep
+// scheduler: it fans independent, index-addressed run points out across a
+// fixed number of goroutines while leaving result placement to the
+// caller, so parallel and serial dispatch produce byte-identical output
+// (results are collected by index, never by completion order).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: req if positive, otherwise
+// runtime.GOMAXPROCS(0), clamped to total (and to at least 1).
+func Workers(req, total int) int {
+	w := req
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > total {
+		w = total
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach invokes f(i) exactly once for every i in [0, total),
+// distributing indices across at most workers goroutines via an atomic
+// cursor, and returns when every call has completed. With workers <= 1
+// every call happens in index order on the calling goroutine, which is
+// the serial baseline the equivalence tests compare against. f must
+// confine its effects to per-index state (result slices indexed by i).
+func ForEach(workers, total int, f func(int)) {
+	if total <= 0 {
+		return
+	}
+	if workers <= 1 {
+		for i := 0; i < total; i++ {
+			f(i)
+		}
+		return
+	}
+	if workers > total {
+		workers = total
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= total {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

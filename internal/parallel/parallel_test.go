@@ -1,0 +1,46 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0, 100) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8, 3) = %d, want clamp to 3", got)
+	}
+	if got := Workers(-2, 0); got != 1 {
+		t.Errorf("Workers(-2, 0) = %d, want 1", got)
+	}
+	if got := Workers(5, 100); got != 5 {
+		t.Errorf("Workers(5, 100) = %d, want 5", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const total = 500
+		var hits [total]int32
+		ForEach(workers, total, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var got []int
+	ForEach(1, 5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial dispatch out of order: %v", got)
+		}
+	}
+	ForEach(4, 0, func(int) { t.Fatal("f called for empty range") })
+}

@@ -1,0 +1,54 @@
+// Package prof wires the standard pprof profilers into the command-line
+// tools: a CPU profile that spans the run and a heap profile written at
+// shutdown. Both are opt-in via flags and off by default.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins the profiles selected by the (possibly empty) file paths
+// and returns a stop function that finalizes them. Stop is safe to call
+// more than once — commands call it both on the normal exit path and from
+// their fatal-error path — and only the first call does work. The CPU
+// profile covers everything between Start and stop; the heap profile is a
+// single snapshot taken at stop time, after a final GC so it reflects
+// live memory rather than collectable garbage.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "prof: create mem profile: %v\n", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "prof: write mem profile: %v\n", err)
+				}
+			}
+		})
+	}, nil
+}

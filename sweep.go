@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"vavg/internal/metrics"
+	"vavg/internal/parallel"
 )
 
 // SweepPoint is one measurement of a size sweep.
@@ -35,35 +36,61 @@ type SweepResult struct {
 // the engine execution backend for every point of the sweep; the default
 // "auto" switches to the active-set pool backend at large n, which is
 // what makes million-vertex sweep points affordable.
+//
+// The (size, seed) run points are independent, so they are fanned out
+// across p.SweepWorkers goroutines (0 means GOMAXPROCS; see CachedGen for
+// sharing graphs across sweeps). Parallel and serial sweeps produce
+// byte-identical results: each point derives its PRNG streams from its
+// own seed, graphs are generated serially before dispatch (gen may be
+// stateful), and results are collected by (size, seed) index, never by
+// completion order.
 func Sweep(alg Algorithm, gen func(n int) *Graph, sizes []int, seeds []int64, p Params) (*SweepResult, error) {
+	if gen == nil {
+		return nil, fmt.Errorf("vavg: sweep %s: nil graph generator", alg.Name)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("vavg: sweep %s: empty size list", alg.Name)
+	}
 	if len(seeds) == 0 {
 		seeds = []int64{1, 2, 3}
 	}
-	out := &SweepResult{Algorithm: alg.Name}
-	for _, n := range sizes {
-		g := gen(n)
-		if out.Family == "" {
-			out.Family = g.Name
+	graphs := make([]*Graph, len(sizes))
+	for i, n := range sizes {
+		if graphs[i] = gen(n); graphs[i] == nil {
+			return nil, fmt.Errorf("vavg: sweep %s: generator returned nil graph at n=%d", alg.Name, n)
 		}
-		var runs []Report
-		for _, s := range seeds {
-			pp := p
-			pp.Seed = s
-			rep, err := alg.Run(g, pp)
-			if err != nil {
-				return nil, fmt.Errorf("vavg: sweep %s at n=%d: %w", alg.Name, n, err)
-			}
-			runs = append(runs, rep)
+	}
+	total := len(sizes) * len(seeds)
+	runs := make([]Report, total)
+	errs := make([]error, total)
+	workers := parallel.Workers(p.SweepWorkers, total)
+	parallel.ForEach(workers, total, func(i int) {
+		si := i / len(seeds)
+		pp := p
+		pp.Seed = seeds[i%len(seeds)]
+		rep, err := alg.Run(graphs[si], pp)
+		if err != nil {
+			errs[i] = fmt.Errorf("vavg: sweep %s at n=%d: %w", alg.Name, sizes[si], err)
+			return
 		}
-		med := metrics.Median(runs)
+		runs[i] = rep
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &SweepResult{Algorithm: alg.Name, Family: graphs[0].Name}
+	for si, n := range sizes {
+		med := metrics.Median(runs[si*len(seeds) : (si+1)*len(seeds)])
 		out.Points = append(out.Points, SweepPoint{
 			N:         n,
-			M:         g.M(),
+			M:         graphs[si].M(),
 			VertexAvg: med.VertexAvg,
 			WorstCase: med.WorstCase,
 			Colors:    med.Colors,
 			Size:      med.Size,
-			Messages:  runs[0].Messages,
+			Messages:  med.Messages,
 		})
 	}
 	return out, nil

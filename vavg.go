@@ -78,6 +78,11 @@ type Params struct {
 	// strategies only — equal seeds yield identical results on all of
 	// them; see engine.Backends for the registered names.
 	Backend string
+	// SweepWorkers bounds the sweep scheduler's concurrency: Sweep fans
+	// its (size, seed) run points across this many goroutines. 0 means
+	// runtime.GOMAXPROCS. Worker count never changes results — parallel
+	// and serial sweeps are byte-identical by construction.
+	SweepWorkers int
 }
 
 // Backends lists the registered engine execution backends, in the order
