@@ -89,10 +89,10 @@ func stage(api *engine.API, tr *hpartition.Tracker, prm Params, lo, hi int32, sy
 	}
 	setColor := coloring.DeltaPlus1OnSet(api, members, A, sink)
 	nbrSet := map[int]int{}
-	api.Broadcast(coloring.ChosenMsg{Kind: stageKind, C: int32(setColor)})
+	coloring.BroadcastChosen(api, stageKind, int32(setColor))
 	for _, m := range api.Next() {
-		if cm, ok := m.Data.(coloring.ChosenMsg); ok && cm.Kind == stageKind {
-			nbrSet[api.NeighborIndex(m.From)] = int(cm.C)
+		if c, ok := coloring.AsChosen(m, stageKind); ok {
+			nbrSet[api.NeighborIndex(m.From)] = int(c)
 			continue
 		}
 		sink([]engine.Msg{m})

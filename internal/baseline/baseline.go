@@ -149,10 +149,10 @@ func MISByColoringWC(a int, eps float64) engine.Program {
 		for cls := 0; cls < palette; cls++ {
 			if cls == c && !dominated {
 				inMIS = true
-				api.Broadcast(coloring.ChosenMsg{Kind: wcMISKind, C: 1})
+				coloring.BroadcastChosen(api, wcMISKind, 1)
 			}
 			for _, m := range api.Next() {
-				if cm, ok := m.Data.(coloring.ChosenMsg); ok && cm.Kind == wcMISKind {
+				if _, ok := coloring.AsChosen(m, wcMISKind); ok {
 					dominated = true
 				}
 			}
@@ -163,24 +163,21 @@ func MISByColoringWC(a int, eps float64) engine.Program {
 
 const wcMISKind = 6
 
-// lubyMsg carries the sender's random priority for one phase.
-type lubyMsg struct {
-	Priority int64
-}
-
 // LubyMIS is Luby's randomized maximal independent set: O(log n) rounds
 // w.h.p. Phases take two lockstep rounds: priorities are exchanged, local
 // maxima join the MIS and terminate (their Final announces it), and
-// dominated vertices terminate in the following round.
+// dominated vertices terminate in the following round. Priorities are the
+// only fast-lane traffic of the program, so they travel untagged with the
+// full 63 random bits.
 func LubyMIS() engine.Program {
 	return func(api *engine.API) any {
 		for {
 			p := api.Rand().Int63()
-			api.Broadcast(lubyMsg{Priority: p})
+			api.BroadcastInt(p)
 			best := true
 			for _, m := range api.Next() {
-				if d, ok := m.Data.(lubyMsg); ok {
-					if d.Priority > p || (d.Priority == p && int(m.From) > api.ID()) {
+				if q, ok := m.AsInt(); ok {
+					if q > p || (q == p && int(m.From) > api.ID()) {
 						best = false
 					}
 				}

@@ -71,12 +71,12 @@ func AColorLogLog(a int, eps float64) engine.Program {
 		c := DeltaPlus1OnSet(api, members, sch.A, sink)
 		// Exchange the Delta+1 colors within the set to orient by color.
 		setColor := map[int]int{} // neighbor index -> its set color
-		api.Broadcast(ChosenMsg{Kind: dp1Kind, C: int32(c)})
+		BroadcastChosen(api, dp1Kind, int32(c))
 		ms := newMemberSet(api, members)
 		var stray []engine.Msg
 		for _, m := range api.Next() {
-			if cm, ok := m.Data.(ChosenMsg); ok && cm.Kind == dp1Kind && ms.idx[m.From] {
-				setColor[api.NeighborIndex(m.From)] = int(cm.C)
+			if mc, ok := AsChosen(m, dp1Kind); ok && ms.idx[m.From] {
+				setColor[api.NeighborIndex(m.From)] = int(mc)
 				continue
 			}
 			stray = append(stray, m)

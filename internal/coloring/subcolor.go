@@ -2,6 +2,7 @@ package coloring
 
 import (
 	"vavg/internal/engine"
+	"vavg/internal/wire"
 )
 
 // Sink consumes messages that a coloring subroutine receives but does not
@@ -13,17 +14,41 @@ type Sink func(msgs []engine.Msg)
 // NopSink ignores stray messages.
 func NopSink([]engine.Msg) {}
 
-// ColorMsg announces the sender's current color within a coloring
-// subroutine instance. Step disambiguates pipelined instances.
-type ColorMsg struct {
-	Step int32
-	C    int32
+// Color messages travel on the engine's integer fast lane. A "color"
+// message (wire.TagColor) announces the sender's current color within a
+// coloring subroutine instance, with the step number disambiguating
+// pipelined instances; a "chosen" message (wire.TagChosen) announces a
+// final (or phase-final) color choice under an algorithm-specific kind
+// namespace.
+
+// BroadcastChosen announces a final (or phase-final) color choice to all
+// neighbors on the fast lane. Kind is the caller's namespace, keeping
+// concurrent subroutines of composed algorithms apart.
+func BroadcastChosen(api *engine.API, kind, c int32) {
+	api.BroadcastInt(wire.Pack(wire.TagChosen, wire.Pair(kind, c)))
 }
 
-// ChosenMsg announces a final (or phase-final) color choice.
-type ChosenMsg struct {
-	Kind int32 // algorithm-specific namespace
-	C    int32
+// AsChosen decodes a chosen-color announcement in the given kind
+// namespace; ok is false for any other message.
+func AsChosen(m engine.Msg, kind int32) (c int32, ok bool) {
+	x, isInt := m.AsInt()
+	if !isInt || wire.Tag(x) != wire.TagChosen || wire.PairHi(wire.Payload(x)) != kind {
+		return 0, false
+	}
+	return wire.PairLo(wire.Payload(x)), true
+}
+
+func broadcastColor(api *engine.API, step int, c int) {
+	api.BroadcastInt(wire.Pack(wire.TagColor, wire.Pair(int32(step), int32(c))))
+}
+
+func asColor(m engine.Msg) (step int, c int, ok bool) {
+	x, isInt := m.AsInt()
+	if !isInt || wire.Tag(x) != wire.TagColor {
+		return 0, 0, false
+	}
+	p := wire.Payload(x)
+	return int(wire.PairHi(p)), int(wire.PairLo(p)), true
 }
 
 // memberSet answers "is this sender part of my subroutine instance".
@@ -65,17 +90,17 @@ func IteratedLinial(api *engine.API, members, parentIdx []int, A int, sink Sink)
 		if step == len(sched)-1 {
 			break // no one needs my color for a further step
 		}
-		api.Broadcast(ColorMsg{Step: int32(step), C: int32(c)})
+		broadcastColor(api, step, c)
 		msgs := api.Next()
 		var stray []engine.Msg
 		for _, m := range msgs {
-			cm, ok := m.Data.(ColorMsg)
+			mstep, mc, ok := asColor(m)
 			if !ok {
 				stray = append(stray, m)
 				continue
 			}
-			if j, isParent := parentOf[m.From]; isParent && int(cm.Step) == step {
-				parentColors[j] = int(cm.C)
+			if j, isParent := parentOf[m.From]; isParent && mstep == step {
+				parentColors[j] = mc
 			}
 		}
 		if len(stray) > 0 {
@@ -145,17 +170,17 @@ func KWReduce(api *engine.API, members []int, myColor, m, A int, sink Sink) int 
 						break
 					}
 				}
-				api.Broadcast(ChosenMsg{Kind: kwKind, C: int32(chosen)})
+				BroadcastChosen(api, kwKind, int32(chosen))
 			}
 			msgs := api.Next()
 			var stray []engine.Msg
 			for _, msg := range msgs {
-				cm, ok := msg.Data.(ChosenMsg)
-				if !ok || cm.Kind != kwKind || !ms.idx[msg.From] {
+				mc, ok := AsChosen(msg, kwKind)
+				if !ok || !ms.idx[msg.From] {
 					stray = append(stray, msg)
 					continue
 				}
-				taken[int(cm.C)] = true
+				taken[int(mc)] = true
 			}
 			if len(stray) > 0 {
 				sink(stray)

@@ -31,7 +31,10 @@ import (
 // The vertex-side model types are defined by the execution core; the
 // aliases keep algorithm packages independent of the backend split.
 type (
-	// Msg is a message received from a neighbor.
+	// Msg is a message received from a neighbor. Integer payloads travel
+	// on an allocation-free fast lane (API.SendInt / API.BroadcastInt,
+	// read with Msg.AsInt); arbitrary payloads use API.Send / API.Broadcast
+	// and arrive in Msg.Data.
 	Msg = exec.Msg
 	// Final is the payload automatically broadcast by a vertex in its
 	// last round; Output is the value the vertex's Program returned.

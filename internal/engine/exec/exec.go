@@ -36,14 +36,26 @@ import (
 	"vavg/internal/graph"
 )
 
-// Msg is a message received from a neighbor.
+// Msg is a message received from a neighbor. A message travels on one of
+// two lanes: the integer fast lane (sent via SendInt/BroadcastInt, read
+// via AsInt) carries a bare int64 with no heap traffic, while the general
+// lane (Send/Broadcast) carries an arbitrary boxed payload in Data.
 type Msg struct {
 	// From is the sender's vertex ID.
 	From int32
-	// Data is the payload. A payload of type Final is the sender's
-	// termination announcement.
+	// isInt marks a fast-lane message; Int is then the payload and Data
+	// is nil.
+	isInt bool
+	// Int is the fast-lane payload; meaningful only when AsInt reports ok.
+	Int int64
+	// Data is the general-lane payload. A payload of type Final is the
+	// sender's termination announcement.
 	Data any
 }
+
+// AsInt returns the fast-lane payload and whether this message used the
+// fast lane. General-lane messages (including Final) report ok=false.
+func (m Msg) AsInt() (int64, bool) { return m.Int, m.isInt }
 
 // Final is the payload automatically broadcast by a vertex in its last
 // round; Output is the value the vertex's Program returned.
@@ -202,22 +214,37 @@ func Select(name string, n int) (Backend, error) {
 }
 
 // cell is one directed-edge message slot, written only by the edge's tail
-// and read only by its head.
+// and read only by its head. kind selects the payload lane; a cellEmpty
+// kind marks the slot vacant.
 type cell struct {
 	data any
-	has  bool
+	ival int64
+	kind uint8
 }
+
+// cell kinds. Stale cells addressed to already-terminated receivers keep a
+// non-empty kind in the double buffers for the rest of the run (nothing
+// drains them), which is harmless but means kind can never double as
+// per-round bookkeeping.
+const (
+	cellEmpty = uint8(iota)
+	cellAny   // data holds a boxed payload
+	cellInt   // ival holds a fast-lane integer
+)
 
 // runScratch holds the per-run engine allocations that never escape into
 // the Result: the two directed-edge slot slabs (the largest allocation of
-// a run, 2*len(Adj) cells) and the per-vertex bookkeeping the backends
-// read at barriers. Recycling them through scratchPool keeps concurrent
-// sweep points from multiplying steady-state allocations by the worker
-// count. Rounds, commitments, and outputs are excluded: Result aliases
-// those arrays, so they must stay owned by the caller.
+// a run, 2*len(Adj) cells), the flat outbox slabs sliced per vertex by
+// degree, and the per-vertex bookkeeping the backends read at barriers.
+// Recycling them through scratchPool keeps concurrent sweep points from
+// multiplying steady-state allocations by the worker count. Rounds,
+// commitments, and outputs are excluded: Result aliases those arrays, so
+// they must stay owned by the caller.
 type runScratch struct {
 	bufA     []cell
 	bufB     []cell
+	outbox   []cell  // flat per-vertex outboxes: vertex v owns [Off[v], Off[v+1])
+	dirty    []int32 // flat backing for the per-vertex dirty-index lists
 	done     []bool
 	msgCount []int64
 	panics   []any
@@ -260,6 +287,8 @@ func newCore(g *graph.Graph, cfg Config) *core {
 	s := scratchPool.Get().(*runScratch)
 	s.bufA = reslice(s.bufA, len(g.Adj))
 	s.bufB = reslice(s.bufB, len(g.Adj))
+	s.outbox = reslice(s.outbox, len(g.Adj))
+	s.dirty = reslice(s.dirty, len(g.Adj))
 	s.done = reslice(s.done, n)
 	s.msgCount = reslice(s.msgCount, n)
 	s.panics = reslice(s.panics, n)
@@ -342,29 +371,35 @@ type abortSentinel struct{}
 // idle-parked receivers).
 type runtime interface {
 	next(a *API, buf []Msg) []Msg
-	idle(a *API, k int) []Msg
+	idle(a *API, k int, buf []Msg) []Msg
 	notifySend(recv int32)
 }
 
 // API is the interface a Program uses to act as its vertex. All methods
 // must be called only from the Program's own goroutine.
 type API struct {
-	core   *core
-	rt     runtime
-	v      int32
-	rng    *rand.Rand
-	outbox map[int32]any // pending sends keyed by neighbor index
-	round  int32
+	core  *core
+	rt    runtime
+	v     int32
+	rng   *rand.Rand
+	out   []cell  // pending sends indexed by neighbor index (slab-backed)
+	dirty []int32 // touched out indices in send order (slab-backed)
+	bcast bool    // a write-through broadcast was already counted this round
+	inbox []Msg   // receive buffer reused across Next/Idle calls
+	round int32
 }
 
 // runVertex executes prog on vertex v, then performs the final counted
 // round: broadcast the output once and terminate completely. done signals
 // the backend's barrier for this vertex.
 func runVertex(rt runtime, c *core, v int32, prog Program, done func()) {
+	lo, hi := c.g.Off[v], c.g.Off[v+1]
 	api := &API{
-		core: c,
-		rt:   rt,
-		v:    v,
+		core:  c,
+		rt:    rt,
+		v:     v,
+		out:   c.scratch.outbox[lo:hi:hi],
+		dirty: c.scratch.dirty[lo:lo:hi],
 	}
 	defer func() {
 		if p := recover(); p != nil {
@@ -431,66 +466,146 @@ func (a *API) Commit() {
 	}
 }
 
-// outboxPool recycles outbox maps across vertices and runs: under a
-// parallel sweep every concurrent run would otherwise allocate one map
-// per sending vertex. Maps are returned cleared (flush empties them;
-// releaseOutbox clears defensively for the panic path).
-var outboxPool = sync.Pool{New: func() any { return make(map[int32]any) }}
+// queue stages c for the k-th neighbor in the vertex's flat outbox slot,
+// recording the slot in the dirty list on first touch. Re-sending to the
+// same neighbor in the same round overwrites in place.
+func (a *API) queue(k int, c cell) {
+	if k < 0 || k >= len(a.out) {
+		panic(fmt.Sprintf("engine: vertex %d: neighbor index %d out of range [0,%d)", a.v, k, len(a.out)))
+	}
+	if a.out[k].kind == cellEmpty {
+		a.dirty = append(a.dirty, int32(k))
+	}
+	a.out[k] = c
+}
 
 // Send queues data for the k-th neighbor (index into NeighborIDs); it is
 // delivered when the current round completes at the next Next call.
-// Sending again to the same neighbor in the same round overwrites.
+// Sending again to the same neighbor in the same round overwrites. It
+// panics if k is not a valid neighbor index.
 func (a *API) Send(k int, data any) {
-	if a.outbox == nil {
-		a.outbox = outboxPool.Get().(map[int32]any)
-	}
-	a.outbox[int32(k)] = data
+	a.queue(k, cell{data: data, kind: cellAny})
 }
 
-// releaseOutbox returns the vertex's outbox map to the pool once the
-// vertex can no longer send (termination or panic).
+// SendInt queues the fast-lane integer x for the k-th neighbor. It has
+// Send's delivery semantics (the two lanes share the one per-neighbor
+// slot) but never boxes the payload, so the steady-state message path
+// performs zero allocations.
+func (a *API) SendInt(k int, x int64) {
+	a.queue(k, cell{ival: x, kind: cellInt})
+}
+
+// releaseOutbox vacates any staged sends once the vertex can no longer
+// send (termination or panic), returning the slab slots clean for the
+// next run.
 func (a *API) releaseOutbox() {
-	if a.outbox == nil {
-		return
+	for _, k := range a.dirty {
+		a.out[k] = cell{}
 	}
-	clear(a.outbox)
-	outboxPool.Put(a.outbox)
-	a.outbox = nil
+	a.dirty = a.dirty[:0]
+	a.bcast = false
 }
 
 // SendID queues data for the neighbor with vertex ID nbr; it panics if nbr
 // is not a neighbor.
 func (a *API) SendID(nbr int, data any) {
+	a.Send(a.mustNeighborIndex(nbr), data)
+}
+
+// SendIDInt queues the fast-lane integer x for the neighbor with vertex ID
+// nbr; it panics if nbr is not a neighbor.
+func (a *API) SendIDInt(nbr int, x int64) {
+	a.SendInt(a.mustNeighborIndex(nbr), x)
+}
+
+func (a *API) mustNeighborIndex(nbr int) int {
 	k := a.core.g.NeighborIndex(int(a.v), nbr)
 	if k < 0 {
 		panic(fmt.Sprintf("engine: vertex %d sending to non-neighbor %d", a.v, nbr))
 	}
-	a.Send(k, data)
+	return k
 }
 
-// Broadcast queues data for every neighbor.
+// Broadcast queues data for every neighbor. A broadcast supersedes any
+// per-neighbor sends staged earlier in the round (last write wins on every
+// slot), and is written through to the send buffer directly: the outbox
+// stage exists to let later sends overwrite earlier ones, which a
+// broadcast — covering every slot at once — does not need.
 func (a *API) Broadcast(data any) {
-	for k := 0; k < a.Degree(); k++ {
-		a.Send(k, data)
-	}
+	a.writeThrough(cell{data: data, kind: cellAny})
 }
 
-// flush moves the outbox into the send buffer. Each cell is written only
-// by this vertex (the slot is receiver-side position Rev[p] of the
-// directed edge), so delivery needs no locks.
-func (a *API) flush() {
-	if len(a.outbox) == 0 {
+// BroadcastInt queues the fast-lane integer x for every neighbor, with
+// Broadcast's write-through semantics and zero allocations.
+func (a *API) BroadcastInt(x int64) {
+	a.writeThrough(cell{ival: x, kind: cellInt})
+}
+
+// writeThrough implements broadcast: cancel staged per-neighbor sends
+// (the broadcast overwrites every slot they could land in) and write c
+// straight into the send buffer. Mid-round writes are safe — each slot has
+// a single writer (this vertex) and is read only after the round barrier
+// swaps the buffers. Message accounting stays per-receiver-per-round: only
+// the first broadcast of a round counts and notifies; overwrites by later
+// broadcasts or re-staged sends are the same message, already counted.
+func (a *API) writeThrough(c cell) {
+	for _, k := range a.dirty {
+		a.out[k] = cell{}
+	}
+	a.dirty = a.dirty[:0]
+	g := a.core.g
+	lo, hi := g.Off[a.v], g.Off[a.v+1]
+	if a.bcast {
+		for p := lo; p < hi; p++ {
+			a.core.sendBuf[g.Rev[p]] = c
+		}
 		return
 	}
-	g := a.core.g
-	base := g.Off[a.v]
-	for k, data := range a.outbox {
-		p := base + k
-		a.core.sendBuf[g.Rev[p]] = cell{data: data, has: true}
-		a.core.msgCount[a.v]++
+	a.bcast = true
+	for p := lo; p < hi; p++ {
+		a.core.sendBuf[g.Rev[p]] = c
 		a.rt.notifySend(g.Adj[p])
 	}
-	clear(a.outbox)
+	a.core.msgCount[a.v] += int64(hi - lo)
+}
+
+// flush moves staged sends into the send buffer in ascending neighbor
+// order (the dirty list is sorted so accounting callbacks fire in the
+// same deterministic order on every backend) and closes out the round's
+// broadcast bookkeeping. Each cell is written only by this vertex (the
+// slot is receiver-side position Rev[p] of the directed edge), so delivery
+// needs no locks.
+func (a *API) flush() {
+	bcast := a.bcast
+	a.bcast = false
+	if len(a.dirty) == 0 {
+		return
+	}
+	sortInt32(a.dirty)
+	g := a.core.g
+	base := g.Off[a.v]
+	for _, k := range a.dirty {
+		p := base + k
+		a.core.sendBuf[g.Rev[p]] = a.out[k]
+		a.out[k] = cell{}
+		if !bcast {
+			a.rt.notifySend(g.Adj[p])
+		}
+	}
+	if !bcast {
+		a.core.msgCount[a.v] += int64(len(a.dirty))
+	}
+	a.dirty = a.dirty[:0]
+}
+
+// sortInt32 insertion-sorts s in place; dirty lists are degree-bounded and
+// usually already ascending, where insertion sort is branch-cheap.
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 // collect appends this round's inbox (ordered by neighbor index) to buf,
@@ -499,10 +614,18 @@ func (a *API) collect(buf []Msg) []Msg {
 	g := a.core.g
 	lo, hi := g.Off[a.v], g.Off[a.v+1]
 	for p := lo; p < hi; p++ {
-		if a.core.recvBuf[p].has {
-			buf = append(buf, Msg{From: g.Adj[p], Data: a.core.recvBuf[p].data})
-			a.core.recvBuf[p] = cell{}
+		c := &a.core.recvBuf[p]
+		if c.kind == cellEmpty {
+			continue
 		}
+		m := Msg{From: g.Adj[p]}
+		if c.kind == cellInt {
+			m.Int, m.isInt = c.ival, true
+		} else {
+			m.Data = c.data
+		}
+		buf = append(buf, m)
+		*c = cell{}
 	}
 	return buf
 }
@@ -510,8 +633,12 @@ func (a *API) collect(buf []Msg) []Msg {
 // Next completes the current round (delivering queued sends) and blocks
 // until the next synchronous round begins, returning the messages this
 // vertex received, ordered by neighbor index.
+//
+// The returned slice is a per-vertex buffer reused by the next Next or
+// Idle call; programs that retain messages across rounds must copy them.
 func (a *API) Next() []Msg {
-	return a.rt.next(a, nil)
+	a.inbox = a.rt.next(a, a.inbox[:0])
+	return a.inbox
 }
 
 // Idle spends k counted rounds sending nothing and returns every message
@@ -519,10 +646,11 @@ func (a *API) Next() []Msg {
 // scheduled window while remaining active, exactly as waiting vertices do
 // in the paper's RoundSum accounting.
 //
-// Messages accumulate into a single buffer grown in place, so a long quiet
-// window allocates nothing per round; on the pool backend the vertex is
-// additionally parked for the whole window and costs no scheduler work
-// until a message arrives or the window expires.
+// Messages accumulate into the vertex's reused receive buffer (see Next),
+// so a long quiet window allocates nothing per round; on the pool backend
+// the vertex is additionally parked for the whole window and costs no
+// scheduler work until a message arrives or the window expires.
 func (a *API) Idle(k int) []Msg {
-	return a.rt.idle(a, k)
+	a.inbox = a.rt.idle(a, k, a.inbox[:0])
+	return a.inbox
 }

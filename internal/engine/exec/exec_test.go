@@ -61,6 +61,69 @@ func testPrograms() map[string]Program {
 			}
 			return got
 		},
+		"mixed-lanes": func(api *API) any {
+			// Exercises both payload lanes and the broadcast write-through
+			// against the flat outbox: staged sends cancelled by a broadcast,
+			// a broadcast partially overridden by a later send, double
+			// broadcasts, alternating lanes across neighbors, and lane
+			// traffic into idle windows. Message counts must stay identical
+			// across backends through all of it.
+			deg := api.Degree()
+			var sum int64
+			// Staged fast-lane sends superseded by a general-lane broadcast.
+			for k := 0; k < deg; k++ {
+				api.SendInt(k, int64(1000+k))
+			}
+			api.Broadcast("bc")
+			for _, m := range api.Next() {
+				if s, ok := m.Data.(string); ok && s == "bc" {
+					sum++
+				}
+				if _, ok := m.AsInt(); ok {
+					sum += 1 << 20 // cancelled sends must never arrive
+				}
+			}
+			// Alternating lanes across neighbors in one round.
+			for k := 0; k < deg; k++ {
+				if k%2 == 0 {
+					api.SendInt(k, int64(k+1))
+				} else {
+					api.Send(k, k+1)
+				}
+			}
+			for _, m := range api.Next() {
+				if x, ok := m.AsInt(); ok {
+					sum += x
+				} else if v, ok := m.Data.(int); ok {
+					sum += int64(v)
+				}
+			}
+			// Double broadcast (second write-through overwrites the first),
+			// then a single staged send overriding one slot of it.
+			api.BroadcastInt(-7)
+			api.BroadcastInt(int64(api.ID()))
+			if deg > 0 {
+				api.Send(0, "override")
+			}
+			for _, m := range api.Next() {
+				if x, ok := m.AsInt(); ok {
+					sum += x
+				}
+				if s, ok := m.Data.(string); ok && s == "override" {
+					sum += 5000
+				}
+			}
+			// Lane traffic into staggered idle windows.
+			if api.ID()%4 == 0 {
+				api.BroadcastInt(int64(api.ID() + 1))
+			}
+			for _, m := range api.Idle(2 + api.ID()%3) {
+				if x, ok := m.AsInt(); ok {
+					sum += x
+				}
+			}
+			return sum
+		},
 		"commit-relay": func(api *API) any {
 			if api.ID()%2 == 0 {
 				api.Commit()

@@ -34,12 +34,11 @@ func (rt *goRuntime) next(a *API, buf []Msg) []Msg {
 	return a.collect(buf)
 }
 
-func (rt *goRuntime) idle(a *API, k int) []Msg {
-	var all []Msg
+func (rt *goRuntime) idle(a *API, k int, buf []Msg) []Msg {
 	for i := 0; i < k; i++ {
-		all = rt.next(a, all)
+		buf = rt.next(a, buf)
 	}
-	return all
+	return buf
 }
 
 func (goroutinesBackend) Run(g *graph.Graph, prog Program, cfg Config) (*Result, error) {

@@ -1,0 +1,296 @@
+package exec
+
+import (
+	"fmt"
+	gort "runtime"
+	"runtime/debug"
+	"strings"
+	"testing"
+
+	"vavg/internal/graph"
+)
+
+// nopRuntime drives APIs by hand: tests and benchmarks below cross round
+// barriers themselves (flush / core.swap / collect), isolating the message
+// path from the schedulers.
+type nopRuntime struct{}
+
+func (nopRuntime) next(a *API, buf []Msg) []Msg        { panic("nopRuntime.next") }
+func (nopRuntime) idle(a *API, k int, buf []Msg) []Msg { panic("nopRuntime.idle") }
+func (nopRuntime) notifySend(int32)                    {}
+
+// stubAPI builds an API wired exactly as runVertex does, without spawning
+// a goroutine.
+func stubAPI(c *core, rt runtime, v int32) *API {
+	lo, hi := c.g.Off[v], c.g.Off[v+1]
+	return &API{
+		core:  c,
+		rt:    rt,
+		v:     v,
+		out:   c.scratch.outbox[lo:hi:hi],
+		dirty: c.scratch.dirty[lo:lo:hi],
+	}
+}
+
+// TestSendBoundsCheck pins the fail-fast contract: an out-of-range
+// neighbor index must panic at the Send call with a clear message, not
+// later inside flush with an opaque slab index.
+func TestSendBoundsCheck(t *testing.T) {
+	g := graph.Path(3) // vertex 0 has degree 1
+	gb, _ := Lookup("goroutines")
+	for _, k := range []int{5, -1} {
+		prog := func(api *API) any {
+			if api.ID() == 0 {
+				api.Send(k, "x")
+			}
+			api.Next()
+			return nil
+		}
+		_, err := gb.Run(g, prog, Config{Seed: 1})
+		if err == nil {
+			t.Fatalf("Send(%d) on degree-1 vertex: expected error", k)
+		}
+		want := fmt.Sprintf("neighbor index %d out of range [0,1)", k)
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Send(%d) error = %q, want it to contain %q", k, err, want)
+		}
+	}
+	// SendInt shares the bounds check.
+	prog := func(api *API) any {
+		if api.ID() == 0 {
+			api.SendInt(2, 7)
+		}
+		api.Next()
+		return nil
+	}
+	if _, err := gb.Run(g, prog, Config{Seed: 1}); err == nil ||
+		!strings.Contains(err.Error(), "neighbor index 2 out of range [0,1)") {
+		t.Errorf("SendInt out of range error = %v", err)
+	}
+}
+
+// TestMessageLanes checks lane selection end to end: fast-lane values
+// round-trip through AsInt, general-lane values through Data, and a Final
+// never reports as an integer.
+func TestMessageLanes(t *testing.T) {
+	g := graph.Path(2)
+	prog := func(api *API) any {
+		if api.ID() == 0 {
+			api.SendInt(0, -42) // any int64 is legal on the raw lane
+			api.Next()
+			api.Send(0, "boxed")
+			api.Next()
+			return nil
+		}
+		var log []string
+		for len(log) < 2 {
+			for _, m := range api.Next() {
+				if x, ok := m.AsInt(); ok {
+					log = append(log, fmt.Sprintf("int:%d", x))
+				} else if s, ok := m.Data.(string); ok {
+					log = append(log, "any:"+s)
+				}
+			}
+		}
+		return strings.Join(log, ",")
+	}
+	gb, _ := Lookup("goroutines")
+	res, err := gb.Run(g, prog, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[1] != "int:-42,any:boxed" {
+		t.Errorf("lane log = %q, want %q", res.Output[1], "int:-42,any:boxed")
+	}
+	if _, ok := (Msg{Data: Final{Output: 3}}).AsInt(); ok {
+		t.Error("Final reported as fast-lane")
+	}
+}
+
+// TestMessagePathAllocs pins the steady-state message path to zero
+// allocations: staging, flushing, broadcasting, collecting, and decoding
+// fast-lane messages on a warm engine must not touch the heap. Guards
+// against reintroducing interface boxing or per-round buffers.
+func TestMessagePathAllocs(t *testing.T) {
+	g := graph.Ring(4)
+	c := newCore(g, Config{})
+	defer c.release()
+	apis := make([]*API, g.N())
+	for v := range apis {
+		apis[v] = stubAPI(c, nopRuntime{}, int32(v))
+	}
+	round := func() {
+		for _, a := range apis {
+			a.flush()
+		}
+		c.swap()
+		for _, a := range apis {
+			a.inbox = a.collect(a.inbox[:0])
+		}
+	}
+	// Warm the inbox buffers so the measured rounds run at capacity.
+	for _, a := range apis {
+		a.BroadcastInt(0)
+	}
+	round()
+
+	var bad int64
+	cases := []struct {
+		name string
+		body func()
+	}{
+		{"SendInt", func() {
+			for _, a := range apis {
+				a.SendInt(0, 7)
+				a.SendInt(1, 9)
+			}
+			round()
+			for _, a := range apis {
+				for _, m := range a.inbox {
+					if x, ok := m.AsInt(); !ok || x != 7 && x != 9 {
+						bad++
+					}
+				}
+			}
+		}},
+		{"BroadcastInt", func() {
+			for _, a := range apis {
+				a.BroadcastInt(int64(a.v))
+			}
+			round()
+		}},
+		{"SendPreboxed", func() {
+			// The general lane itself is allocation-free once the payload
+			// exists; only boxing a fresh value costs.
+			for _, a := range apis {
+				a.Send(0, apis[0]) // any pre-existing pointer payload
+			}
+			round()
+		}},
+		{"SendThenBroadcastInt", func() {
+			for _, a := range apis {
+				a.SendInt(0, 1)
+				a.BroadcastInt(2) // write-through cancels the staged send
+			}
+			round()
+		}},
+		{"QuietRound", func() { round() }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(50, tc.body); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+	if bad != 0 {
+		t.Errorf("%d fast-lane messages decoded wrong", bad)
+	}
+}
+
+// TestSteadyStateAllocsIntegrated measures the whole engine, schedulers
+// included: growing a run by 1000 extra broadcast rounds must add at most
+// a fixed number of allocations (ActivePerRound growth and GC noise), i.e.
+// the per-round message path allocates nothing on either backend.
+func TestSteadyStateAllocsIntegrated(t *testing.T) {
+	withShards(t, 2)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	g := graph.Ring(8)
+	prog := func(rounds int) Program {
+		return func(api *API) any {
+			var sum int64
+			for i := 0; i < rounds; i++ {
+				api.BroadcastInt(int64(i))
+				for _, m := range api.Next() {
+					x, _ := m.AsInt()
+					sum += x
+				}
+			}
+			return sum
+		}
+	}
+	mallocs := func() uint64 {
+		var ms gort.MemStats
+		gort.ReadMemStats(&ms)
+		return ms.Mallocs
+	}
+	for _, name := range Names() {
+		b, _ := Lookup(name)
+		run := func(rounds int) uint64 {
+			before := mallocs()
+			if _, err := b.Run(g, prog(rounds), Config{Seed: 1, MaxRounds: 1 << 20}); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return mallocs() - before
+		}
+		run(1100) // warm the scratch pool at full size
+		long := run(1100)
+		short := run(100)
+		var extra int64
+		if long > short {
+			extra = int64(long - short)
+		}
+		// 1000 extra rounds x 8 vertices = 8000 round-vertex steps; the
+		// budget admits only slice-growth amortization, not per-step work.
+		if extra > 128 {
+			t.Errorf("%s: 1000 extra rounds cost %d allocs (long=%d short=%d), want <= 128",
+				name, extra, long, short)
+		}
+	}
+}
+
+// benchLane benchmarks one send primitive at a given degree: the center of
+// a star stages/broadcasts to deg neighbors, the barrier is crossed by
+// hand, and every leaf drains its single-slot inbox.
+func benchLane(b *testing.B, deg int, send func(a *API, i int)) {
+	g := graph.Star(deg + 1)
+	c := newCore(g, Config{})
+	defer c.release()
+	center := stubAPI(c, nopRuntime{}, 0)
+	leaves := make([]*API, deg)
+	for i := range leaves {
+		leaves[i] = stubAPI(c, nopRuntime{}, int32(i+1))
+	}
+	var sink int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send(center, i)
+		center.flush()
+		c.swap()
+		for _, l := range leaves {
+			l.inbox = l.collect(l.inbox[:0])
+			for _, m := range l.inbox {
+				if x, ok := m.AsInt(); ok {
+					sink += x
+				} else if v, ok := m.Data.(int); ok {
+					sink += int64(v)
+				}
+			}
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkMsgPath(b *testing.B) {
+	for _, deg := range []int{2, 16, 128} {
+		b.Run(fmt.Sprintf("Send/deg=%d", deg), func(b *testing.B) {
+			benchLane(b, deg, func(a *API, i int) {
+				for k := 0; k < deg; k++ {
+					a.Send(k, i) // boxes the int: the cost the fast lane removes
+				}
+			})
+		})
+		b.Run(fmt.Sprintf("SendInt/deg=%d", deg), func(b *testing.B) {
+			benchLane(b, deg, func(a *API, i int) {
+				for k := 0; k < deg; k++ {
+					a.SendInt(k, int64(i))
+				}
+			})
+		})
+		b.Run(fmt.Sprintf("Broadcast/deg=%d", deg), func(b *testing.B) {
+			benchLane(b, deg, func(a *API, i int) { a.Broadcast(i) })
+		})
+		b.Run(fmt.Sprintf("BroadcastInt/deg=%d", deg), func(b *testing.B) {
+			benchLane(b, deg, func(a *API, i int) { a.BroadcastInt(int64(i)) })
+		})
+	}
+}

@@ -138,12 +138,12 @@ func (rt *poolRuntime) next(a *API, buf []Msg) []Msg {
 // happen in rounds W+1..W+k (early on message arrival, finally at expiry
 // E = W+k), each collecting the previous round's deliveries — exactly the
 // rounds and inbox contents a loop of k Next calls would observe.
-func (rt *poolRuntime) idle(a *API, k int) []Msg {
+func (rt *poolRuntime) idle(a *API, k int, buf []Msg) []Msg {
 	if k <= 0 {
-		return nil
+		return buf
 	}
 	if k == 1 {
-		return rt.next(a, nil)
+		return rt.next(a, buf)
 	}
 	a.flush()
 	s := rt.shardOf(a.v)
@@ -153,7 +153,7 @@ func (rt *poolRuntime) idle(a *API, k int) []Msg {
 	s.timerMu.Lock()
 	heapPush(&s.timers, idleEntry{e, a.v})
 	s.timerMu.Unlock()
-	var all []Msg
+	all := buf
 	for {
 		s.wg.Done()
 		<-s.wake[li]

@@ -30,6 +30,13 @@ type BackendPoint struct {
 	NsPerRound       float64 `json:"nsPerRound"`
 	NsPerVertexRound float64 `json:"nsPerVertexRound"`
 	PeakBytes        uint64  `json:"peakBytes"`
+	// Allocs is the total heap allocation count of the run (Mallocs
+	// delta); AllocsPerVertexRound divides it by RoundSum. A near-zero
+	// per-vertex-round figure is the zero-allocation message path working:
+	// what remains is per-run setup (graph-independent slabs are recycled)
+	// plus per-vertex termination (one Final per vertex).
+	Allocs               uint64  `json:"allocs"`
+	AllocsPerVertexRound float64 `json:"allocsPerVertexRound"`
 }
 
 // BackendBench is the machine-readable artifact committed as
@@ -197,11 +204,15 @@ func measureBackend(alg vavg.Algorithm, g *vavg.Graph, family string, a int, bac
 			}
 		}
 	}()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	startMallocs := ms.Mallocs
 	start := time.Now()
 	rep, err := alg.Run(g, vavg.Params{
 		Arboricity: a, Seed: seed, Backend: backend, SkipValidation: true,
 	})
 	wall := time.Since(start)
+	runtime.ReadMemStats(&ms)
 	close(stop)
 	peak := <-peakCh
 	if err != nil {
@@ -218,12 +229,14 @@ func measureBackend(alg vavg.Algorithm, g *vavg.Graph, family string, a int, bac
 		VertexAvg:   rep.VertexAvg,
 		WallMs:      float64(wall.Nanoseconds()) / 1e6,
 		PeakBytes:   peak,
+		Allocs:      ms.Mallocs - startMallocs,
 	}
 	if rep.WorstCase > 0 {
 		pt.NsPerRound = float64(wall.Nanoseconds()) / float64(rep.WorstCase)
 	}
 	if rep.RoundSum > 0 {
 		pt.NsPerVertexRound = float64(wall.Nanoseconds()) / float64(rep.RoundSum)
+		pt.AllocsPerVertexRound = float64(pt.Allocs) / float64(rep.RoundSum)
 	}
 	return pt, nil
 }
@@ -257,11 +270,12 @@ func runBackends(cfg Config) error {
 			metrics.F(pt.VertexAvg), metrics.I(pt.TotalRounds),
 			fmt.Sprintf("%.1f", pt.WallMs),
 			fmt.Sprintf("%.0f", pt.NsPerVertexRound),
+			fmt.Sprintf("%.3f", pt.AllocsPerVertexRound),
 			fmt.Sprintf("%.1f", float64(pt.PeakBytes)/(1<<20)),
 		})
 	}
 	metrics.Table(cfg.W, []string{"backend", "algorithm", "family", "n",
-		"vertex-avg", "rounds", "wall ms", "ns/vertex-round", "peak MiB"}, rows)
+		"vertex-avg", "rounds", "wall ms", "ns/vertex-round", "allocs/vr", "peak MiB"}, rows)
 	if len(bench.SweepTimings) > 0 {
 		fmt.Fprintf(cfg.W, "\nsweep scheduler (full matrix, %d CPUs):\n", bench.NumCPU)
 		var trows [][]string

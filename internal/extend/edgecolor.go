@@ -7,18 +7,15 @@ import (
 	"vavg/internal/engine"
 	"vavg/internal/graph"
 	"vavg/internal/hpartition"
+	"vavg/internal/wire"
 )
 
 // edgeRequest asks the receiving endpoint (the head) to color the edge
 // connecting sender and receiver; Used lists the colors already present on
-// edges at the sender.
+// edges at the sender. The slice payload keeps it on the general lane; the
+// head's reply — a bare color — travels back fast-lane as wire.TagAssign.
 type edgeRequest struct {
 	Used []int32
-}
-
-// edgeAssign is the head's reply: the color assigned to the edge.
-type edgeAssign struct {
-	Color int32
 }
 
 // EdgeOutput is the per-vertex output of EdgeColoring: the colors this
@@ -71,7 +68,7 @@ func (st *edgeState) serveRequests(api *engine.API, msgs []engine.Msg) {
 		}
 		st.used[color] = true
 		st.assigned[tail] = color
-		api.SendID(int(tail), edgeAssign{Color: color})
+		api.SendIDInt(int(tail), wire.Pack(wire.TagAssign, int64(color)))
 	}
 }
 
@@ -79,8 +76,8 @@ func (st *edgeState) serveRequests(api *engine.API, msgs []engine.Msg) {
 // request, if present in msgs.
 func (st *edgeState) recordAssign(msgs []engine.Msg, head int32) {
 	for _, m := range msgs {
-		if a, ok := m.Data.(edgeAssign); ok && m.From == head {
-			st.used[a.Color] = true
+		if x, ok := m.AsInt(); ok && wire.Tag(x) == wire.TagAssign && m.From == head {
+			st.used[int32(wire.Payload(x))] = true
 		}
 	}
 }

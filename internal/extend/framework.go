@@ -104,11 +104,11 @@ func (misProblem) Solve(api *engine.API, ctx *HSetContext) any {
 	classSweep(api, ctx.A+1, ctx.SetColor, func() {
 		if !dominated() && !domBySameSet {
 			inMIS = true
-			api.Broadcast(coloring.ChosenMsg{Kind: sweepKind, C: 1})
+			coloring.BroadcastChosen(api, sweepKind, 1)
 		}
 	}, func(msgs []engine.Msg) {
 		for _, m := range msgs {
-			if cm, ok := m.Data.(coloring.ChosenMsg); ok && cm.Kind == sweepKind && cm.C == 1 {
+			if c, ok := coloring.AsChosen(m, sweepKind); ok && c == 1 {
 				domBySameSet = true
 			}
 		}
@@ -155,11 +155,11 @@ func (p listColorProblem) Solve(api *engine.API, ctx *HSetContext) any {
 		if myColor < 0 {
 			panic("extend: list exhausted (|L(v)| >= deg(v)+1 violated)")
 		}
-		api.Broadcast(coloring.ChosenMsg{Kind: sweepKind, C: int32(myColor)})
+		coloring.BroadcastChosen(api, sweepKind, int32(myColor))
 	}, func(msgs []engine.Msg) {
 		for _, m := range msgs {
-			if cm, ok := m.Data.(coloring.ChosenMsg); ok && cm.Kind == sweepKind {
-				taken[int(cm.C)] = true
+			if c, ok := coloring.AsChosen(m, sweepKind); ok {
+				taken[int(c)] = true
 			}
 		}
 		ctx.Sink(msgs)

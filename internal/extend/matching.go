@@ -6,13 +6,20 @@ import (
 	"vavg/internal/coloring"
 	"vavg/internal/engine"
 	"vavg/internal/hpartition"
+	"vavg/internal/wire"
 )
 
-// propose asks the receiving endpoint to match with the sender.
-type propose struct{}
+// Proposals (wire.TagPropose: "match with me") and acceptances
+// (wire.TagAccept: "match confirmed") are payload-free fast-lane messages.
+var (
+	proposeMsg = wire.Pack(wire.TagPropose, 0)
+	acceptMsg  = wire.Pack(wire.TagAccept, 0)
+)
 
-// accept confirms a match with the receiver of the original proposal.
-type accept struct{}
+func hasTag(m engine.Msg, tag uint8) bool {
+	x, ok := m.AsInt()
+	return ok && wire.Tag(x) == tag
+}
 
 // MaximalMatchingWindow returns the iteration window width of the
 // matching program (same phase structure as edge coloring).
@@ -33,7 +40,7 @@ func (st *matchState) serveProposals(api *engine.API, msgs []engine.Msg) {
 	}
 	best := int32(-1)
 	for _, m := range msgs {
-		if _, ok := m.Data.(propose); ok {
+		if hasTag(m, wire.TagPropose) {
 			if best < 0 || m.From < best {
 				best = m.From
 			}
@@ -41,14 +48,14 @@ func (st *matchState) serveProposals(api *engine.API, msgs []engine.Msg) {
 	}
 	if best >= 0 {
 		st.partner = best
-		api.SendID(int(best), accept{})
+		api.SendIDInt(int(best), acceptMsg)
 	}
 }
 
 // recordAccept marks this vertex matched if head accepted its proposal.
 func (st *matchState) recordAccept(msgs []engine.Msg, head int32) {
 	for _, m := range msgs {
-		if _, ok := m.Data.(accept); ok && m.From == head {
+		if hasTag(m, wire.TagAccept) && m.From == head {
 			st.partner = head
 		}
 	}
@@ -114,7 +121,7 @@ func MaximalMatching(a int, eps float64) engine.Program {
 				head := int32(-1)
 				if mine {
 					head = ids[intraParent[j]]
-					api.SendID(int(head), propose{})
+					api.SendIDInt(int(head), proposeMsg)
 				}
 				reqs := api.Next()
 				sink(reqs)
@@ -131,7 +138,7 @@ func MaximalMatching(a int, eps float64) engine.Program {
 			head := int32(-1)
 			if mine {
 				head = ids[interOut[j]]
-				api.SendID(int(head), propose{})
+				api.SendIDInt(int(head), proposeMsg)
 			}
 			sink(api.Next())
 			msgs := api.Next()

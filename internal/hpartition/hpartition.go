@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"vavg/internal/engine"
+	"vavg/internal/wire"
 )
 
 // ParamA returns A = ceil((2+eps)*a), the active-degree threshold of
@@ -58,6 +59,8 @@ func EllBound(n int, eps float64) int {
 
 // Join is the message a vertex broadcasts in the round it joins an H-set.
 // Attach carries algorithm-specific piggybacked data (e.g., forest labels).
+// Attachment-free joins travel on the engine's integer fast lane as
+// wire.TagJoin instead of boxing a Join value.
 type Join struct {
 	// Index is the H-set the sender joined (1-based).
 	Index int32
@@ -99,17 +102,26 @@ func (t *Tracker) Absorb(api *engine.API, msgs []engine.Msg) {
 	for _, m := range msgs {
 		var idx int32
 		var attach any
-		switch d := m.Data.(type) {
-		case Join:
-			idx, attach = d.Index, d.Attach
-		case engine.Final:
-			if j, ok := d.Output.(Join); ok {
-				idx, attach = j.Index, j.Attach
-			} else {
-				idx = -1 // terminated without a Join (foreign algorithm)
+		if x, ok := m.AsInt(); ok {
+			// Fast-lane traffic: only TagJoin concerns the partition; other
+			// tags are a composed algorithm's own messages.
+			if wire.Tag(x) != wire.TagJoin {
+				continue
 			}
-		default:
-			continue
+			idx = int32(wire.Payload(x))
+		} else {
+			switch d := m.Data.(type) {
+			case Join:
+				idx, attach = d.Index, d.Attach
+			case engine.Final:
+				if j, ok := d.Output.(Join); ok {
+					idx, attach = j.Index, j.Attach
+				} else {
+					idx = -1 // terminated without a Join (foreign algorithm)
+				}
+			default:
+				continue
+			}
 		}
 		k := nbrIndex(api, m.From)
 		if t.NbrH[k] == 0 {
@@ -153,7 +165,11 @@ func (t *Tracker) Step(api *engine.API, attach any) (joined bool, msgs []engine.
 	t.round++
 	if t.activeDeg <= t.A {
 		t.HIndex = t.round
-		api.Broadcast(Join{Index: t.round, Attach: attach})
+		if attach == nil {
+			api.BroadcastInt(wire.Pack(wire.TagJoin, int64(t.round)))
+		} else {
+			api.Broadcast(Join{Index: t.round, Attach: attach})
+		}
 		joined = true
 	}
 	msgs = api.Next()

@@ -17,12 +17,12 @@ import (
 
 	"vavg/internal/engine"
 	"vavg/internal/hpartition"
+	"vavg/internal/wire"
 )
 
-// tentative announces a randomly drawn candidate color (a palette offset).
-type tentative struct {
-	C int32
-}
+// Tentative candidate colors (randomly drawn palette offsets) travel on
+// the fast lane as wire.TagTent; ALogLog interleaves them with partition
+// joins on the same edges, which the tag keeps apart.
 
 // randColorLoop runs the Luby-style protocol over palette offsets
 // [0, size). forbidden holds offsets owned by finished rivals; extra is
@@ -45,13 +45,14 @@ func randColorLoop(api *engine.API, size int, forbidden map[int32]bool,
 				panic("randcolor: palette exhausted (invariant violated)")
 			}
 			cand = free[api.Rand().Intn(len(free))]
-			api.Broadcast(tentative{C: cand})
+			api.BroadcastInt(wire.Pack(wire.TagTent, int64(cand)))
 		}
 		msgs := api.Next()
 		extra(msgs)
 		conflict := false
 		for _, m := range msgs {
-			if d, ok := m.Data.(tentative); ok && d.C == cand && rival(api.NeighborIndex(m.From)) {
+			if x, ok := m.AsInt(); ok && wire.Tag(x) == wire.TagTent &&
+				int32(wire.Payload(x)) == cand && rival(api.NeighborIndex(m.From)) {
 				conflict = true
 			}
 		}

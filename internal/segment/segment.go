@@ -205,11 +205,11 @@ func KAColoring(a, k int, eps float64) engine.Program {
 		}
 		c := coloring.DeltaPlus1OnSet(api, members, A, sink)
 		setColor := map[int]int{}
-		api.Broadcast(coloring.ChosenMsg{Kind: segKind, C: int32(c)})
+		coloring.BroadcastChosen(api, segKind, int32(c))
 		for _, m := range api.Next() {
-			if cm, ok := m.Data.(coloring.ChosenMsg); ok && cm.Kind == segKind {
+			if mc, ok := coloring.AsChosen(m, segKind); ok {
 				if kk := api.NeighborIndex(m.From); tr.NbrH[kk] == i {
-					setColor[kk] = int(cm.C)
+					setColor[kk] = int(mc)
 					continue
 				}
 			}

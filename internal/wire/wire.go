@@ -1,0 +1,72 @@
+// Package wire defines the compact integer encodings the algorithm
+// packages use on the engine's fast message lane (SendInt/BroadcastInt/
+// Msg.AsInt). The dominant payloads of the paper's algorithms — colors,
+// levels, phase indices — are small non-negative integers; packing them
+// into a tagged int64 keeps the steady-state message path free of
+// interface boxing.
+//
+// Layout: the top byte carries a tag identifying the message family, the
+// low 56 bits carry the payload. Tags are small (≤ 0x7f), so every packed
+// value is a non-negative int64. Messages whose meaning is unambiguous
+// within their program (e.g. Luby priorities, the only fast-lane traffic
+// of that algorithm) may skip tagging and use the full 63 bits raw; tags
+// exist for the algorithms that interleave several message families on one
+// edge — most prominently anything absorbed by hpartition.Tracker, which
+// is the universal stray-message sink.
+package wire
+
+import "fmt"
+
+// Message family tags. Globally unique so any receiver — in particular
+// the hpartition Tracker, which absorbs strays from every composed
+// algorithm — can classify a fast-lane message unambiguously.
+const (
+	TagJoin    = uint8(iota + 1) // hpartition H-set join; payload = iteration index
+	TagColor                     // coloring round exchange; payload = Pair(step, color)
+	TagChosen                    // committed color announcement; payload = Pair(kind, color)
+	TagTent                      // randcolor tentative color; payload = candidate color
+	TagPropose                   // extend/matching proposal; no payload
+	TagAccept                    // extend/matching acceptance; no payload
+	TagAssign                    // extend/edgecolor assignment; payload = color
+)
+
+const (
+	payloadBits = 56
+	// PayloadMax is the largest payload Pack accepts.
+	PayloadMax = int64(1)<<payloadBits - 1
+	// pairHiMax bounds Pair's high half: it shares the payload's top bits.
+	pairHiMax = int32(1)<<(payloadBits-32) - 1
+)
+
+// Pack combines a tag and a payload into a fast-lane value.
+func Pack(tag uint8, payload int64) int64 {
+	if payload < 0 || payload > PayloadMax {
+		panic(fmt.Sprintf("wire: payload %d out of range [0,%d]", payload, PayloadMax))
+	}
+	return int64(tag)<<payloadBits | payload
+}
+
+// Tag extracts the message-family tag of a packed value. Raw (untagged)
+// fast-lane values below 2^56 report tag 0.
+func Tag(x int64) uint8 { return uint8(uint64(x) >> payloadBits) }
+
+// Payload extracts the 56-bit payload of a packed value.
+func Payload(x int64) int64 { return x & PayloadMax }
+
+// Pair packs two small non-negative halves — typically a sub-kind or step
+// in hi and a color in lo — into one payload.
+func Pair(hi, lo int32) int64 {
+	if hi < 0 || hi > pairHiMax {
+		panic(fmt.Sprintf("wire: pair hi %d out of range [0,%d]", hi, pairHiMax))
+	}
+	if lo < 0 {
+		panic(fmt.Sprintf("wire: pair lo %d negative", lo))
+	}
+	return int64(hi)<<32 | int64(uint32(lo))
+}
+
+// PairHi extracts the high half of a Pair payload.
+func PairHi(payload int64) int32 { return int32(payload >> 32) }
+
+// PairLo extracts the low half of a Pair payload.
+func PairLo(payload int64) int32 { return int32(uint32(payload)) }

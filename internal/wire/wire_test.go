@@ -1,0 +1,53 @@
+package wire
+
+import "testing"
+
+func TestPackRoundTrip(t *testing.T) {
+	cases := []struct {
+		tag     uint8
+		payload int64
+	}{
+		{TagJoin, 0},
+		{TagJoin, 12345},
+		{TagChosen, Pair(6, 1<<31-1)},
+		{TagTent, PayloadMax},
+		{TagAssign, 3},
+	}
+	for _, c := range cases {
+		x := Pack(c.tag, c.payload)
+		if x < 0 {
+			t.Errorf("Pack(%d,%d) = %d: negative packed value", c.tag, c.payload, x)
+		}
+		if Tag(x) != c.tag || Payload(x) != c.payload {
+			t.Errorf("Pack(%d,%d) round-trips to (%d,%d)", c.tag, c.payload, Tag(x), Payload(x))
+		}
+	}
+	// Raw (untagged) small values must not collide with any tag.
+	if Tag(1<<56-1) != 0 {
+		t.Error("raw 56-bit value reports a nonzero tag")
+	}
+}
+
+func TestPairRoundTrip(t *testing.T) {
+	for _, c := range [][2]int32{{0, 0}, {1, 2}, {6, 1<<31 - 1}, {1<<24 - 1, 0}} {
+		p := Pair(c[0], c[1])
+		if PairHi(p) != c[0] || PairLo(p) != c[1] {
+			t.Errorf("Pair(%d,%d) round-trips to (%d,%d)", c[0], c[1], PairHi(p), PairLo(p))
+		}
+	}
+}
+
+func TestPackPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative payload", func() { Pack(TagJoin, -1) })
+	mustPanic("oversized payload", func() { Pack(TagJoin, PayloadMax+1) })
+	mustPanic("negative pair lo", func() { Pair(0, -1) })
+	mustPanic("oversized pair hi", func() { Pair(1<<24, 0) })
+}

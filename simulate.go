@@ -19,7 +19,9 @@ type (
 	// Program is per-vertex code; its return value is the vertex output,
 	// broadcast to neighbors in one final counted round.
 	Program = engine.Program
-	// Msg is a received message.
+	// Msg is a received message; integer payloads sent on the
+	// allocation-free fast lane (API.SendInt / API.BroadcastInt) are
+	// read with Msg.AsInt, boxed payloads through Msg.Data.
 	Msg = engine.Msg
 	// Final is the payload of a terminating neighbor's last broadcast.
 	Final = engine.Final
