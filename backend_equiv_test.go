@@ -15,8 +15,10 @@ import (
 // pluggable-backend engine: for every registered algorithm on every graph
 // family, identical seeds must yield byte-identical engine Results —
 // rounds, commitments, outputs, active-set decay, message counts — on the
-// "goroutines" and "pool" backends. Backends are execution strategies, not
-// semantics.
+// "goroutines", "pool", and "step" backends. Backends are execution
+// strategies, not semantics. Algorithms with a step form run it on the
+// step backend, so this suite also pins every step translation to its
+// blocking original.
 func TestCrossBackendEquivalenceRegistry(t *testing.T) {
 	oldProcs := gort.GOMAXPROCS(4) // force multi-shard pool runs
 	defer gort.GOMAXPROCS(oldProcs)
@@ -47,10 +49,13 @@ func TestCrossBackendEquivalenceRegistry(t *testing.T) {
 				t.Parallel()
 				g := fam.gen()
 				p := Params{Arboricity: fam.a, Seed: 11, MaxRounds: 1 << 21}.withDefaults(g)
-				prog := alg.program(p)
+				spec := engine.Spec{Program: alg.program(p)}
+				if alg.step != nil {
+					spec.Step = alg.step(p)
+				}
 				var results []*engine.Result
 				for _, backend := range engine.Backends() {
-					res, err := engine.Run(g, prog, engine.Options{
+					res, err := engine.RunSpec(g, spec, engine.Options{
 						Seed: p.Seed, MaxRounds: p.MaxRounds, Backend: backend,
 					})
 					if err != nil {

@@ -8,9 +8,16 @@
 //	vavgbench -exp all
 //	vavgbench -exp t2-mis -sizes 1024,4096,16384 -seeds 1,2,3
 //	vavgbench -exp table1 -quick
+//	vavgbench -compare BENCH_engine.json -threshold 25
+//
+// -compare re-measures the backend benchmark and diffs it against a
+// committed baseline JSON (the BENCH_engine.json format); it exits
+// non-zero when any matched point's wall time or allocation count grew by
+// more than -threshold percent.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,15 +35,17 @@ var stopProfiles = func() {}
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id, or 'all'")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		sizes   = flag.String("sizes", "", "comma-separated graph sizes (default per experiment)")
-		seeds   = flag.String("seeds", "", "comma-separated seeds (default 1,2,3)")
-		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		jsonF   = flag.Bool("json", false, "machine-readable JSON output (supported by -exp backends)")
-		workers = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS); never changes results")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exp       = flag.String("exp", "all", "experiment id, or 'all'")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		sizes     = flag.String("sizes", "", "comma-separated graph sizes (default per experiment)")
+		seeds     = flag.String("seeds", "", "comma-separated seeds (default 1,2,3)")
+		quick     = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		jsonF     = flag.Bool("json", false, "machine-readable JSON output (supported by -exp backends)")
+		workers   = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS); never changes results")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		compare   = flag.String("compare", "", "baseline JSON (BENCH_engine.json format): rerun the backend benchmark and fail on regressions")
+		threshold = flag.Float64("threshold", 25, "regression threshold for -compare, in percent")
 	)
 	flag.Parse()
 
@@ -63,6 +72,13 @@ func main() {
 	}
 	for _, s := range seeds64 {
 		cfg.Seeds = append(cfg.Seeds, int64(s))
+	}
+
+	if *compare != "" {
+		if err := runCompare(cfg, *compare, *threshold); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	run := func(e experiments.Experiment) {
@@ -92,6 +108,31 @@ func main() {
 		}
 		run(e)
 	}
+}
+
+// runCompare re-measures the backend benchmark under cfg and diffs it
+// against the baseline file, failing the process when any point regressed
+// past the threshold.
+func runCompare(cfg experiments.Config, path string, thresholdPct float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base experiments.BackendBench
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s does not parse: %w", path, err)
+	}
+	cfg.JSON = false
+	fresh, err := experiments.RunBackendBench(cfg)
+	if err != nil {
+		return err
+	}
+	rep := experiments.CompareBenches(&base, fresh, thresholdPct)
+	rep.Write(os.Stdout)
+	if rep.Regressions > 0 {
+		return fmt.Errorf("%d benchmark points regressed past %+.0f%%", rep.Regressions, thresholdPct)
+	}
+	return nil
 }
 
 func parseInts(s string) ([]int, error) {

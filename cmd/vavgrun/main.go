@@ -36,7 +36,7 @@ func main() {
 		c       = flag.Int("c", 4, "constant C for §7.8")
 		eps     = flag.Float64("eps", 2, "partition slack in (0,2]")
 		seed    = flag.Int64("seed", 1, "run seed")
-		backend = flag.String("backend", "", "engine backend: goroutines|pool|auto (default auto)")
+		backend = flag.String("backend", "", "engine backend: goroutines|pool|step|auto (default auto)")
 		decay   = flag.Bool("decay", false, "print the active-vertex decay")
 		sweep   = flag.String("sweep", "", "comma-separated sizes: run a size sweep instead of a single run")
 		format  = flag.String("format", "csv", "sweep output format: csv|json")

@@ -46,7 +46,31 @@ type (
 	API = exec.API
 	// Result reports the outcome and cost accounting of a run.
 	Result = exec.Result
+	// StepProgram is the state-machine form of a Program: called once per
+	// vertex, it returns the StepFn for the vertex's first turn. The step
+	// backend runs these with no per-vertex goroutine.
+	StepProgram = exec.StepProgram
+	// StepFn is one turn of a step-form program: it receives the messages
+	// delivered since the last turn and returns a Step verdict.
+	StepFn = exec.StepFn
+	// Step is a turn verdict: Continue, Sleep, or Done.
+	Step = exec.Step
+	// Spec bundles an algorithm's blocking form with its optional step
+	// form for RunSpec.
+	Spec = exec.Spec
 )
+
+// Continue ends a step turn; next runs in the following round with the
+// messages delivered this round (the step form of API.Next).
+func Continue(next StepFn) Step { return exec.Continue(next) }
+
+// Sleep ends a step turn and parks the vertex for k >= 1 counted rounds
+// (the step form of API.Idle).
+func Sleep(k int, next StepFn) Step { return exec.Sleep(k, next) }
+
+// Done ends a step turn and terminates the vertex with output (the step
+// form of returning from a Program).
+func Done(output any) Step { return exec.Done(output) }
 
 // ErrMaxRounds is returned when a run exceeds Options.MaxRounds.
 var ErrMaxRounds = exec.ErrMaxRounds
@@ -60,9 +84,12 @@ type Options struct {
 	// MaxRounds aborts the run if the global round count exceeds it,
 	// guarding against livelocked programs. 0 means 4*(n + 64*log2(n) + 64).
 	MaxRounds int
-	// Backend selects the execution backend: "goroutines", "pool", or
-	// ""/"auto" to pick by graph size (pool at or above
-	// exec.PoolThreshold vertices).
+	// Backend selects the execution backend: "goroutines", "pool",
+	// "step", or ""/"auto" to pick automatically — the step backend
+	// whenever the algorithm has a step form, otherwise by graph size
+	// (pool at or above exec.PoolThreshold vertices). Selecting "step"
+	// for an algorithm without a step form falls back to the automatic
+	// goroutines/pool choice.
 	Backend string
 }
 
@@ -74,6 +101,15 @@ func Run(g *graph.Graph, prog Program, opts Options) (*Result, error) {
 		return nil, err
 	}
 	return b.Run(g, prog, exec.Config{Seed: opts.Seed, MaxRounds: opts.MaxRounds})
+}
+
+// RunSpec executes spec on the backend selected by opts.Backend,
+// preferring the step form wherever the chosen backend can run it; see
+// Options.Backend for the selection rules. Which form runs is an
+// execution-strategy choice only: equal seeds produce byte-identical
+// Results for both forms on every backend.
+func RunSpec(g *graph.Graph, spec Spec, opts Options) (*Result, error) {
+	return exec.RunSpec(g, spec, opts.Backend, exec.Config{Seed: opts.Seed, MaxRounds: opts.MaxRounds})
 }
 
 // Backends lists the registered execution backends.

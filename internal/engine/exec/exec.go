@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 
 	"vavg/internal/graph"
@@ -180,6 +181,7 @@ func Register(b Backend) {
 func init() {
 	Register(goroutinesBackend{})
 	Register(poolBackend{})
+	Register(stepBackend{})
 }
 
 // Names lists the registered backends in sorted order.
@@ -192,12 +194,15 @@ func Names() []string {
 	return out
 }
 
-// Lookup returns the backend registered under name.
+// Lookup returns the backend registered under name. The error for an
+// unknown name lists every registered backend (plus the "auto" pseudo
+// name) so callers passing user input get the valid choices back.
 func Lookup(name string) (Backend, error) {
 	if b, ok := backends[name]; ok {
 		return b, nil
 	}
-	return nil, fmt.Errorf("engine: unknown backend %q (have %v)", name, Names())
+	return nil, fmt.Errorf("engine: unknown backend %q (registered backends: %s, or \"auto\")",
+		name, strings.Join(Names(), ", "))
 }
 
 // Select resolves a backend choice for an n-vertex run. The empty string
@@ -211,6 +216,45 @@ func Select(name string, n int) (Backend, error) {
 		return backends["goroutines"], nil
 	}
 	return Lookup(name)
+}
+
+// Spec describes an algorithm to a backend: the blocking goroutine form
+// and, when the algorithm has been migrated, the equivalent step
+// (state-machine) form. The two forms express the same executions; which
+// one runs is an execution-strategy choice that never changes the Result.
+type Spec struct {
+	// Program is the blocking per-vertex form; required.
+	Program Program
+	// Step is the per-round state-machine form, or nil if the algorithm
+	// has not been migrated.
+	Step StepProgram
+}
+
+// RunSpec resolves name like Select and executes spec on the chosen
+// backend, preferring the step form wherever it can run: ""/"auto" with a
+// step form selects "step" outright (the step driver beats both blocking
+// backends at every size), and any explicitly chosen backend that
+// implements StepRunner uses the step form. Selecting "step" for an
+// algorithm without a step form falls back to the automatic
+// goroutines/pool choice.
+func RunSpec(g *graph.Graph, spec Spec, name string, cfg Config) (*Result, error) {
+	if spec.Program == nil && spec.Step == nil {
+		return nil, errors.New("engine: empty Spec: no Program and no StepProgram")
+	}
+	if (name == "" || name == "auto") && spec.Step != nil {
+		name = "step"
+	}
+	b, err := Select(name, g.N())
+	if err != nil {
+		return nil, err
+	}
+	if sr, ok := b.(StepRunner); ok && spec.Step != nil {
+		return sr.RunStep(g, spec.Step, cfg)
+	}
+	if spec.Program == nil {
+		return nil, fmt.Errorf("engine: backend %q needs the blocking form, but the Spec has only a step form", b.Name())
+	}
+	return b.Run(g, spec.Program, cfg)
 }
 
 // cell is one directed-edge message slot, written only by the edge's tail
@@ -248,6 +292,11 @@ type runScratch struct {
 	done     []bool
 	msgCount []int64
 	panics   []any
+	// apis and stepFns back the step backend's flat per-vertex machine
+	// state (API handles and pending turns); the other backends leave them
+	// untouched.
+	apis    []API
+	stepFns []StepFn
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}

@@ -375,7 +375,7 @@ func TestSelect(t *testing.T) {
 	if _, err = Select("nope", 4); err == nil {
 		t.Error("Select unknown backend should fail")
 	}
-	want := []string{"goroutines", "pool"}
+	want := []string{"goroutines", "pool", "step"}
 	if !reflect.DeepEqual(Names(), want) {
 		t.Errorf("Names() = %v, want %v", Names(), want)
 	}

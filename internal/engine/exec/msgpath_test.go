@@ -212,15 +212,31 @@ func TestSteadyStateAllocsIntegrated(t *testing.T) {
 		gort.ReadMemStats(&ms)
 		return ms.Mallocs
 	}
-	for _, name := range Names() {
-		b, _ := Lookup(name)
-		run := func(rounds int) uint64 {
-			before := mallocs()
-			if _, err := b.Run(g, prog(rounds), Config{Seed: 1, MaxRounds: 1 << 20}); err != nil {
-				t.Fatalf("%s: %v", name, err)
+	// stepProg is the state-machine twin of prog: one broadcast per turn,
+	// summing the previous turn's inbox. Running it directly on the step
+	// backend gates the step scheduler's own round loop, which the blocking
+	// program above only reaches through the fallback path.
+	stepProg := func(rounds int) StepProgram {
+		return func(api *API) StepFn {
+			var sum int64
+			i := 0
+			var fn StepFn
+			fn = func(api *API, inbox []Msg) Step {
+				for _, m := range inbox {
+					x, _ := m.AsInt()
+					sum += x
+				}
+				if i == rounds {
+					return Done(sum)
+				}
+				api.BroadcastInt(int64(i))
+				i++
+				return Continue(fn)
 			}
-			return mallocs() - before
+			return fn
 		}
+	}
+	check := func(name string, run func(rounds int) uint64) {
 		run(1100) // warm the scratch pool at full size
 		long := run(1100)
 		short := run(100)
@@ -233,6 +249,25 @@ func TestSteadyStateAllocsIntegrated(t *testing.T) {
 		if extra > 128 {
 			t.Errorf("%s: 1000 extra rounds cost %d allocs (long=%d short=%d), want <= 128",
 				name, extra, long, short)
+		}
+	}
+	for _, name := range Names() {
+		b, _ := Lookup(name)
+		check(name, func(rounds int) uint64 {
+			before := mallocs()
+			if _, err := b.Run(g, prog(rounds), Config{Seed: 1, MaxRounds: 1 << 20}); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return mallocs() - before
+		})
+		if sr, ok := b.(StepRunner); ok {
+			check(name+"(step form)", func(rounds int) uint64 {
+				before := mallocs()
+				if _, err := sr.RunStep(g, stepProg(rounds), Config{Seed: 1, MaxRounds: 1 << 20}); err != nil {
+					t.Fatalf("%s step form: %v", name, err)
+				}
+				return mallocs() - before
+			})
 		}
 	}
 }

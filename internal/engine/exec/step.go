@@ -1,0 +1,483 @@
+package exec
+
+import (
+	"math"
+	gort "runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"vavg/internal/graph"
+)
+
+// The step backend runs vertices as explicit per-round state machines
+// instead of blocking goroutine Programs: no per-vertex goroutine, no
+// stack, no park/wake synchronization. A vertex is a StepFn — one turn of
+// work — stored in a flat per-shard array and invoked in ascending vertex
+// order by the shard's driver every round the vertex is due. Terminated
+// vertices are compacted out of the shard's active list, and sleeping
+// vertices (the step form of API.Idle) sit in a timer heap, so per-round
+// cost is O(active vertices + delivered messages), not O(n).
+//
+// The step form expresses the same executions as the blocking form, turn
+// by turn: a blocking Program is a sequence of code blocks separated by
+// Next/Idle calls, and its step translation returns each block as one
+// StepFn whose Step verdict (Continue / Sleep / Done) stands in for the
+// blocking call that ended the block. Because all observable run state
+// (PRNG streams, inbox order, round and message accounting) is keyed by
+// (vertex, round) exactly as in the other backends, a faithful
+// translation produces byte-identical Results — the cross-backend
+// equivalence suite enforces this for every dual-registered algorithm.
+
+// StepFn is one turn of a step-form vertex program: it receives the
+// messages delivered since its last turn (ordered by neighbor index;
+// accumulated across the whole window after a Sleep) and returns a Step
+// verdict saying how the vertex proceeds. The inbox slice is a per-vertex
+// buffer reused between turns — retaining messages requires copying, as
+// with API.Next. A StepFn must not call API.Next or API.Idle; rounds are
+// crossed by returning.
+type StepFn func(api *API, inbox []Msg) Step
+
+// StepProgram builds a vertex's state machine: it is called once per
+// vertex before round 1 and returns the StepFn for the vertex's first
+// turn (invoked in round 1 with an empty inbox). Per-vertex state lives in
+// the closure; the API handle stays valid for the whole run.
+type StepProgram func(api *API) StepFn
+
+// Step is the verdict a StepFn returns for one turn.
+type Step struct {
+	next  StepFn
+	out   any
+	sleep int32
+	done  bool
+}
+
+// Continue ends the turn; next runs in the following round with the
+// messages delivered this round. It is the step form of API.Next.
+func Continue(next StepFn) Step {
+	if next == nil {
+		panic("engine: Continue with nil StepFn")
+	}
+	return Step{next: next, sleep: 1}
+}
+
+// Sleep ends the turn and parks the vertex for k counted rounds: next
+// runs k rounds later with every message delivered in between (in arrival
+// order). It is the step form of API.Idle(k): the vertex stays live and
+// pays the rounds, but costs no scheduler work while parked. k must be at
+// least 1; Sleep(1, next) is Continue(next). Callers translating an
+// Idle(k) with k possibly 0 must branch: a zero-round idle does not end
+// the turn.
+func Sleep(k int, next StepFn) Step {
+	if k < 1 {
+		panic("engine: Sleep window must be >= 1 rounds")
+	}
+	if next == nil {
+		panic("engine: Sleep with nil StepFn")
+	}
+	return Step{next: next, sleep: int32(k)}
+}
+
+// Done ends the turn and terminates the vertex with the given output,
+// which is broadcast to its neighbors as the Final payload of this same
+// round — exactly the accounting of a blocking Program returning.
+func Done(output any) Step {
+	return Step{done: true, out: output}
+}
+
+// StepRunner is implemented by backends that execute step-form programs
+// natively.
+type StepRunner interface {
+	RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Result, error)
+}
+
+// stepBackend drives step-form programs with shard workers over flat
+// state arrays. For blocking Programs (algorithms without a step form) it
+// falls back to the automatic goroutines/pool choice, so selecting
+// "step" is always safe.
+type stepBackend struct{}
+
+func (stepBackend) Name() string { return "step" }
+
+// Run executes a blocking Program by delegating to the automatic
+// goroutines/pool selection: the step driver itself only runs StepForms,
+// and an explicit Backend="step" must still work for every algorithm.
+func (stepBackend) Run(g *graph.Graph, prog Program, cfg Config) (*Result, error) {
+	b, err := Select("auto", g.N())
+	if err != nil {
+		return nil, err
+	}
+	return b.Run(g, prog, cfg)
+}
+
+// stepShard owns a contiguous vertex range [lo, hi). All its fields are
+// touched only by the shard's driver between round barriers, except
+// pending/msgRound which senders from any shard update under pendMu (the
+// same wake protocol as the pool backend).
+type stepShard struct {
+	lo, hi int32
+	// fns[v-lo] is v's next turn.
+	fns []StepFn
+	// active lists, in ascending order, the live vertices that take a turn
+	// every round. Terminated and sleeping vertices are compacted out.
+	active []int32
+	// woken and runBuf are per-round scratch: expired sleepers and the
+	// merged turn order.
+	woken  []int32
+	runBuf []int32
+	// wakeAt[v-lo] is the round of v's next scheduled turn while sleeping,
+	// or 0 if v is active (or done).
+	wakeAt []int32
+	// timers is a min-heap of (wake round, vertex) sleep expiries.
+	timers []idleEntry
+	// pending holds message wakes: entry (T, v) means a message addressed
+	// to v was flushed for delivery in round T. Senders append under
+	// pendMu, at most once per (v, T) thanks to msgRound.
+	pendMu  sync.Mutex
+	pending []idleEntry
+	// msgRound[v-lo] is the latest delivery round already enqueued in
+	// pending for v; accessed atomically by senders.
+	msgRound []int32
+	// live counts non-terminated vertices in the shard.
+	live int
+	// bootProg builds each vertex's machine during the round-1 pass.
+	bootProg StepProgram
+}
+
+type stepRuntime struct {
+	c         *core
+	shards    []*stepShard
+	shardSize int32
+	// round is the current global round, written by the coordinator at the
+	// barrier and read by senders during their turns.
+	round int32
+}
+
+func (rt *stepRuntime) shardOf(v int32) *stepShard { return rt.shards[v/rt.shardSize] }
+
+// notifySend marks receiver recv as having a message deliverable next
+// round so a sleeping receiver's slots are drained in time (the double
+// buffers recycle a slot after two rounds, so an undrained delivery would
+// be lost or misread). Entries for receivers that turn out to be active
+// or terminated are dropped at drain time, as in the pool backend.
+func (rt *stepRuntime) notifySend(recv int32) {
+	s := rt.shardOf(recv)
+	i := recv - s.lo
+	t := rt.round + 1
+	for {
+		old := atomic.LoadInt32(&s.msgRound[i])
+		if old >= t {
+			return
+		}
+		if atomic.CompareAndSwapInt32(&s.msgRound[i], old, t) {
+			s.pendMu.Lock()
+			s.pending = append(s.pending, idleEntry{t, recv})
+			s.pendMu.Unlock()
+			return
+		}
+	}
+}
+
+// next and idle are the blocking round-crossing calls; step programs
+// cross rounds by returning a Step verdict instead.
+func (rt *stepRuntime) next(*API, []Msg) []Msg {
+	panic("engine: step program called API.Next; return Continue instead")
+}
+
+func (rt *stepRuntime) idle(*API, int, []Msg) []Msg {
+	panic("engine: step program called API.Idle; return Sleep instead")
+}
+
+// boot builds v's state machine and runs its first turn (round 1, empty
+// inbox), converting a panic into the vertex's recorded failure.
+func (rt *stepRuntime) boot(a *API, prog StepProgram) (st Step, ok bool) {
+	defer rt.trap(a, &ok)
+	fn := prog(a)
+	if fn == nil {
+		panic("engine: step program returned nil StepFn")
+	}
+	return fn(a, nil), true
+}
+
+// turn runs one scheduled turn of v's machine.
+func (rt *stepRuntime) turn(a *API, fn StepFn) (st Step, ok bool) {
+	defer rt.trap(a, &ok)
+	return fn(a, a.inbox), true
+}
+
+func (rt *stepRuntime) trap(a *API, ok *bool) {
+	if p := recover(); p != nil {
+		a.releaseOutbox()
+		rt.c.panics[a.v] = p
+		rt.c.done[a.v] = true
+		*ok = false
+	}
+}
+
+// runRound takes every due turn in the shard for global round w: expired
+// sleepers rejoin, sleeping receivers of this round's deliveries drain
+// their slots, and the due vertices run in ascending order. Vertices are
+// stepped with api.round = w-1, matching where a blocking Program stands
+// while executing round w.
+func (s *stepShard) runRound(rt *stepRuntime, apis []API, w int32) {
+	c := rt.c
+	// Wake sleepers whose window ends this round; their turn collects the
+	// final round of the window below.
+	s.woken = s.woken[:0]
+	for len(s.timers) > 0 && s.timers[0].round <= w {
+		e := heapPop(&s.timers)
+		li := e.v - s.lo
+		if s.wakeAt[li] == e.round {
+			s.wakeAt[li] = 0
+			s.woken = append(s.woken, e.v)
+		}
+	}
+	// Mass wakes are normal (a whole segment's window expiring at once
+	// wakes O(n) sleepers in one round), so this must be a real sort —
+	// the insertion sort used for degree-bounded dirty lists would be
+	// quadratic here.
+	slices.Sort(s.woken)
+	// Drain this round's deliveries into still-sleeping receivers' inboxes
+	// (in delivery-round order, so a later wake sees the same accumulated
+	// sequence a blocking Idle builds). Entries for active, waking, or
+	// terminated receivers are dropped: those vertices collect for
+	// themselves, or never will. Entries stamped for a later round by
+	// shards already executing it stay queued.
+	s.pendMu.Lock()
+	keep := s.pending[:0]
+	for _, e := range s.pending {
+		if e.round > w {
+			keep = append(keep, e)
+			continue
+		}
+		if s.wakeAt[e.v-s.lo] > w {
+			a := &apis[e.v]
+			a.inbox = a.collect(a.inbox)
+		}
+	}
+	s.pending = keep
+	s.pendMu.Unlock()
+	// Merge the compacted active list with this round's woken sleepers,
+	// collecting each vertex's inbox: active vertices start a fresh inbox,
+	// woken ones append the window's final round to what the drains above
+	// accumulated. Round 1 has no deliveries and no machines yet — every
+	// vertex boots instead.
+	s.runBuf = s.runBuf[:0]
+	if w == 1 {
+		for v := s.lo; v < s.hi; v++ {
+			s.runBuf = append(s.runBuf, v)
+		}
+	} else {
+		ai, wi := 0, 0
+		for ai < len(s.active) || wi < len(s.woken) {
+			var v int32
+			if wi >= len(s.woken) || (ai < len(s.active) && s.active[ai] < s.woken[wi]) {
+				v = s.active[ai]
+				ai++
+				a := &apis[v]
+				a.inbox = a.collect(a.inbox[:0])
+			} else {
+				v = s.woken[wi]
+				wi++
+				a := &apis[v]
+				a.inbox = a.collect(a.inbox)
+			}
+			s.runBuf = append(s.runBuf, v)
+		}
+	}
+	// Take the turns in ascending vertex order, rebuilding the active list
+	// with the survivors.
+	s.active = s.active[:0]
+	for _, v := range s.runBuf {
+		li := v - s.lo
+		a := &apis[v]
+		a.round = w - 1
+		var st Step
+		var ok bool
+		if w == 1 {
+			g := c.g
+			plo, phi := g.Off[v], g.Off[v+1]
+			*a = API{
+				core:  c,
+				rt:    rt,
+				v:     v,
+				out:   c.scratch.outbox[plo:phi:phi],
+				dirty: c.scratch.dirty[plo:plo:phi],
+			}
+			st, ok = rt.boot(a, s.bootProg)
+		} else {
+			st, ok = rt.turn(a, s.fns[li])
+		}
+		if !ok {
+			s.live--
+			continue
+		}
+		switch {
+		case st.done:
+			// The exact final-round sequence of runVertex: broadcast the
+			// output, deliver, terminate.
+			a.Broadcast(Final{Output: st.out})
+			a.flush()
+			a.releaseOutbox()
+			a.round++
+			c.rounds[v] = a.round
+			c.output[v] = st.out
+			c.done[v] = true
+			s.live--
+		case st.sleep > 1:
+			a.flush()
+			a.round++
+			c.rounds[v] = a.round
+			// The window's messages accumulate into a fresh inbox (the turn
+			// just consumed the old contents).
+			a.inbox = a.inbox[:0]
+			s.fns[li] = st.next
+			e := w + st.sleep
+			s.wakeAt[li] = e
+			heapPush(&s.timers, idleEntry{e, v})
+		default:
+			a.flush()
+			a.round++
+			c.rounds[v] = a.round
+			s.fns[li] = st.next
+			s.active = append(s.active, v)
+		}
+	}
+}
+
+// nextEventRound returns the earliest upcoming round in which any vertex
+// takes a turn: cur+1 if some shard has active vertices or pending
+// message wakes, otherwise the earliest sleep expiry. Rounds in between
+// are fast-forwarded by the coordinator.
+func (rt *stepRuntime) nextEventRound(cur int) int {
+	next := math.MaxInt
+	for _, s := range rt.shards {
+		if len(s.active) > 0 {
+			return cur + 1
+		}
+		s.pendMu.Lock()
+		np := len(s.pending)
+		s.pendMu.Unlock()
+		if np > 0 {
+			return cur + 1
+		}
+		if len(s.timers) > 0 && int(s.timers[0].round) < next {
+			next = int(s.timers[0].round)
+		}
+	}
+	if next == math.MaxInt {
+		// Live vertices but no scheduled turn: cannot happen for
+		// well-formed machines (every live vertex is active or sleeping),
+		// but advance round by round until MaxRounds aborts, as the other
+		// backends do under livelock.
+		return cur + 1
+	}
+	return next
+}
+
+// RunStep executes a step-form program: per-round cost is proportional to
+// the vertices due a turn plus the messages delivered, with zero
+// goroutines beyond one worker per shard (and none at all on a single
+// shard).
+func (stepBackend) RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Result, error) {
+	n := g.N()
+	maxRounds := cfg.maxRounds(n)
+	c := newCore(g, cfg)
+	c.scratch.apis = reslice(c.scratch.apis, n)
+	c.scratch.stepFns = reslice(c.scratch.stepFns, n)
+	apis := c.scratch.apis
+
+	nshards := gort.GOMAXPROCS(0)
+	if nshards > n {
+		nshards = n
+	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	shardSize := (n + nshards - 1) / nshards
+	rt := &stepRuntime{c: c, shardSize: int32(shardSize)}
+	for lo := 0; lo < n; lo += shardSize {
+		hi := lo + shardSize
+		if hi > n {
+			hi = n
+		}
+		s := &stepShard{
+			lo:       int32(lo),
+			hi:       int32(hi),
+			fns:      c.scratch.stepFns[lo:hi:hi],
+			active:   make([]int32, 0, hi-lo),
+			wakeAt:   make([]int32, hi-lo),
+			msgRound: make([]int32, hi-lo),
+			live:     hi - lo,
+			bootProg: prog,
+		}
+		rt.shards = append(rt.shards, s)
+	}
+
+	// Multi-shard runs use one persistent worker per shard released once
+	// per round; a single shard runs inline with no goroutines at all.
+	var roundWG sync.WaitGroup
+	var starts []chan struct{}
+	if len(rt.shards) > 1 {
+		for _, s := range rt.shards {
+			start := make(chan struct{})
+			starts = append(starts, start)
+			go func(s *stepShard, start chan struct{}) {
+				for range start {
+					s.runRound(rt, apis, rt.round)
+					roundWG.Done()
+				}
+			}(s, start)
+		}
+		defer func() {
+			for _, start := range starts {
+				close(start)
+			}
+		}()
+	}
+
+	activePerRound := []int{n}
+	round := 1
+	rt.round = 1
+	for {
+		if len(rt.shards) == 1 {
+			rt.shards[0].runRound(rt, apis, rt.round)
+		} else {
+			roundWG.Add(len(rt.shards))
+			for _, start := range starts {
+				start <- struct{}{}
+			}
+			roundWG.Wait()
+		}
+		live := 0
+		for _, s := range rt.shards {
+			live += s.live
+		}
+		if live == 0 {
+			break
+		}
+		if round >= maxRounds {
+			c.aborted = true
+			break
+		}
+		// Fast-forward rounds in which every live vertex sleeps with no
+		// deliverable message: they all pay the rounds (the paper's
+		// waiting-is-active accounting) at O(shards) cost here.
+		next := rt.nextEventRound(round)
+		for round+1 < next && !c.aborted {
+			round++
+			activePerRound = append(activePerRound, live)
+			if round >= maxRounds {
+				c.aborted = true
+			}
+		}
+		if c.aborted {
+			break
+		}
+		round++
+		activePerRound = append(activePerRound, live)
+		rt.round = int32(round)
+		c.swap()
+	}
+	return c.finish(activePerRound, maxRounds)
+}

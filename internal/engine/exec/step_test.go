@@ -1,0 +1,424 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"vavg/internal/graph"
+)
+
+// stepTestPrograms returns the step-form twin of every blocking program
+// in testPrograms: turn-by-turn translations that must reproduce the
+// blocking executions byte for byte (same PRNG draw order, same sends in
+// the same rounds, same termination rounds).
+func stepTestPrograms() map[string]StepProgram {
+	return map[string]StepProgram{
+		"flood": func(api *API) StepFn {
+			best := api.ID()
+			i := 0
+			var fn StepFn
+			fn = func(api *API, inbox []Msg) Step {
+				for _, m := range inbox {
+					if v, ok := m.Data.(int); ok && v > best {
+						best = v
+					}
+				}
+				if i == 4 {
+					return Done(best)
+				}
+				api.Broadcast(best)
+				i++
+				return Continue(fn)
+			}
+			return fn
+		},
+		"idle-mod": func(api *API) StepFn {
+			return func(api *API, _ []Msg) Step {
+				if k := api.ID() % 17; k > 0 {
+					return Sleep(k, func(api *API, _ []Msg) Step {
+						return Done(api.ID())
+					})
+				}
+				return Done(api.ID())
+			}
+		},
+		"idle-rand": func(api *API) StepFn {
+			return func(api *API, _ []Msg) Step {
+				if k := api.Rand().Intn(9); k > 0 {
+					return Sleep(k, func(api *API, _ []Msg) Step {
+						return Done(api.Rand().Int63())
+					})
+				}
+				return Done(api.Rand().Int63())
+			}
+		},
+		"send-then-idle": func(api *API) StepFn {
+			count := func(api *API, inbox []Msg) Step {
+				got := 0
+				for _, m := range inbox {
+					if _, ok := m.Data.(int); ok {
+						got++
+					}
+				}
+				return Done(got)
+			}
+			broadcastThenWait := func(api *API, _ []Msg) Step {
+				api.Broadcast(api.ID())
+				return Sleep(12, count)
+			}
+			return func(api *API, _ []Msg) Step {
+				if api.ID()%3 == 0 {
+					if k := api.ID() % 5; k > 0 {
+						return Sleep(k, broadcastThenWait)
+					}
+					api.Broadcast(api.ID())
+				}
+				return Sleep(12, count)
+			}
+		},
+		"mixed-lanes": func(api *API) StepFn {
+			deg := api.Degree()
+			var sum int64
+			after := func(api *API, inbox []Msg) Step {
+				for _, m := range inbox {
+					if x, ok := m.AsInt(); ok {
+						sum += x
+					}
+				}
+				return Done(sum)
+			}
+			t4 := func(api *API, inbox []Msg) Step {
+				for _, m := range inbox {
+					if x, ok := m.AsInt(); ok {
+						sum += x
+					}
+					if s, ok := m.Data.(string); ok && s == "override" {
+						sum += 5000
+					}
+				}
+				if api.ID()%4 == 0 {
+					api.BroadcastInt(int64(api.ID() + 1))
+				}
+				return Sleep(2+api.ID()%3, after)
+			}
+			t3 := func(api *API, inbox []Msg) Step {
+				for _, m := range inbox {
+					if x, ok := m.AsInt(); ok {
+						sum += x
+					} else if v, ok := m.Data.(int); ok {
+						sum += int64(v)
+					}
+				}
+				api.BroadcastInt(-7)
+				api.BroadcastInt(int64(api.ID()))
+				if deg > 0 {
+					api.Send(0, "override")
+				}
+				return Continue(t4)
+			}
+			t2 := func(api *API, inbox []Msg) Step {
+				for _, m := range inbox {
+					if s, ok := m.Data.(string); ok && s == "bc" {
+						sum++
+					}
+					if _, ok := m.AsInt(); ok {
+						sum += 1 << 20
+					}
+				}
+				for k := 0; k < deg; k++ {
+					if k%2 == 0 {
+						api.SendInt(k, int64(k+1))
+					} else {
+						api.Send(k, k+1)
+					}
+				}
+				return Continue(t3)
+			}
+			return func(api *API, _ []Msg) Step {
+				for k := 0; k < deg; k++ {
+					api.SendInt(k, int64(1000+k))
+				}
+				api.Broadcast("bc")
+				return Continue(t2)
+			}
+		},
+		"commit-relay": func(api *API) StepFn {
+			return func(api *API, _ []Msg) Step {
+				if api.ID()%2 == 0 {
+					api.Commit()
+				}
+				return Sleep(3+api.ID()%4, func(api *API, _ []Msg) Step {
+					return Done(api.Round())
+				})
+			}
+		},
+		"termination-wave": func(api *API) StepFn {
+			var fn StepFn
+			fn = func(api *API, inbox []Msg) Step {
+				for _, m := range inbox {
+					if f, ok := m.Data.(Final); ok {
+						return Done(f.Output.(int) + 1)
+					}
+				}
+				return Continue(fn)
+			}
+			return func(api *API, _ []Msg) Step {
+				if api.ID() == 0 {
+					return Done(0)
+				}
+				return Continue(fn)
+			}
+		},
+	}
+}
+
+func runStep(t *testing.T, g *graph.Graph, prog StepProgram, cfg Config) *Result {
+	t.Helper()
+	res, err := stepBackend{}.RunStep(g, prog, cfg)
+	if err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	return res
+}
+
+// TestStepBackendEquivalence is the tentpole gate: the step twin of every
+// synthetic program must reproduce the goroutine backend's Result byte
+// for byte on every test graph.
+func TestStepBackendEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		withShards(t, shards)
+		sprogs := stepTestPrograms()
+		for gname, g := range testGraphs() {
+			for pname, prog := range testPrograms() {
+				for _, seed := range []int64{1, 42} {
+					label := fmt.Sprintf("%dshards/%s/%s/seed%d", shards, gname, pname, seed)
+					gb, _ := Lookup("goroutines")
+					rg, err := gb.Run(g, prog, Config{Seed: seed})
+					if err != nil {
+						t.Fatalf("%s: goroutines: %v", label, err)
+					}
+					rs := runStep(t, g, sprogs[pname], Config{Seed: seed})
+					requireEqualResults(t, label, rg, rs)
+				}
+			}
+		}
+	}
+}
+
+// TestStepIdleMessageWake pins the double-buffer hazard for sleeping
+// machines: messages flushed into the middle of a long sleep must be
+// drained in their delivery round (or a later send would overwrite the
+// slot) and arrive in delivery order at the wake turn.
+func TestStepIdleMessageWake(t *testing.T) {
+	withShards(t, 3)
+	g := graph.Path(2)
+	prog := func(api *API) StepFn {
+		if api.ID() == 0 {
+			return func(api *API, _ []Msg) Step {
+				return Sleep(3, func(api *API, _ []Msg) Step {
+					api.Send(0, "early")
+					return Sleep(4, func(api *API, _ []Msg) Step {
+						api.Send(0, "late")
+						return Sleep(3, func(api *API, _ []Msg) Step {
+							return Done(nil)
+						})
+					})
+				})
+			}
+		}
+		return func(api *API, _ []Msg) Step {
+			return Sleep(14, func(api *API, inbox []Msg) Step {
+				var got []string
+				for _, m := range inbox {
+					if s, ok := m.Data.(string); ok {
+						got = append(got, s)
+					}
+				}
+				return Done(fmt.Sprint(got))
+			})
+		}
+	}
+	res := runStep(t, g, prog, Config{Seed: 1})
+	if res.Output[1] != "[early late]" {
+		t.Errorf("sleep window collected %v, want [early late]", res.Output[1])
+	}
+}
+
+func TestStepMaxRoundsAborts(t *testing.T) {
+	withShards(t, 2)
+	g := graph.Ring(8)
+	spin := func(api *API) StepFn {
+		var fn StepFn
+		fn = func(api *API, _ []Msg) Step { return Continue(fn) }
+		return fn
+	}
+	if _, err := (stepBackend{}).RunStep(g, spin, Config{MaxRounds: 40}); !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("spin err = %v, want ErrMaxRounds", err)
+	}
+	// Machines parked in an over-long sleep must be reachable by the abort
+	// too (the fast-forward path must stop at MaxRounds).
+	park := func(api *API) StepFn {
+		return func(api *API, _ []Msg) Step {
+			return Sleep(1<<20, func(api *API, _ []Msg) Step { return Done(nil) })
+		}
+	}
+	if _, err := (stepBackend{}).RunStep(g, park, Config{MaxRounds: 40}); !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("park err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestStepVertexPanicPropagates(t *testing.T) {
+	withShards(t, 2)
+	g := graph.Ring(6)
+	// A panic during a turn.
+	turnPanic := func(api *API) StepFn {
+		return func(api *API, _ []Msg) Step {
+			if api.ID() == 3 {
+				panic("boom")
+			}
+			return Sleep(2, func(api *API, _ []Msg) Step { return Done(nil) })
+		}
+	}
+	if _, err := (stepBackend{}).RunStep(g, turnPanic, Config{Seed: 1}); err == nil || !strings.Contains(err.Error(), "vertex 3") {
+		t.Fatalf("turn panic err = %v, want vertex 3 failure", err)
+	}
+	// A panic while building the machine.
+	bootPanic := func(api *API) StepFn {
+		if api.ID() == 2 {
+			panic("boot boom")
+		}
+		return func(api *API, _ []Msg) Step { return Done(nil) }
+	}
+	if _, err := (stepBackend{}).RunStep(g, bootPanic, Config{Seed: 1}); err == nil || !strings.Contains(err.Error(), "vertex 2") {
+		t.Fatalf("boot panic err = %v, want vertex 2 failure", err)
+	}
+	// Blocking round-crossing calls are a step-program bug, reported as a
+	// vertex failure rather than a deadlock.
+	callsNext := func(api *API) StepFn {
+		return func(api *API, _ []Msg) Step {
+			api.Next()
+			return Done(nil)
+		}
+	}
+	if _, err := (stepBackend{}).RunStep(g, callsNext, Config{Seed: 1}); err == nil || !strings.Contains(err.Error(), "API.Next") {
+		t.Fatalf("Next-in-step err = %v, want API.Next guidance", err)
+	}
+}
+
+func TestStepDeterminismAcrossRuns(t *testing.T) {
+	withShards(t, 4)
+	g := graph.ForestUnion(180, 3, 17)
+	prog := func(api *API) StepFn {
+		relay := func(api *API, _ []Msg) Step {
+			api.Broadcast(api.Rand().Int())
+			return Continue(func(api *API, _ []Msg) Step {
+				return Done(api.Rand().Int63())
+			})
+		}
+		return func(api *API, _ []Msg) Step {
+			if k := api.Rand().Intn(6); k > 0 {
+				return Sleep(k, relay)
+			}
+			return relay(api, nil)
+		}
+	}
+	r1 := runStep(t, g, prog, Config{Seed: 42})
+	r2 := runStep(t, g, prog, Config{Seed: 42})
+	requireEqualResults(t, "step-determinism", r1, r2)
+}
+
+// TestStepScratchReuseIsClean interleaves step runs of different sizes so
+// recycled API and StepFn slabs from a larger run are reused by a smaller
+// one; results must match fresh first runs exactly.
+func TestStepScratchReuseIsClean(t *testing.T) {
+	withShards(t, 4)
+	sprogs := stepTestPrograms()
+	names := []string{"flood", "send-then-idle", "mixed-lanes", "termination-wave"}
+	graphs := []*graph.Graph{graph.ForestUnion(300, 3, 7), graph.Ring(16), graph.Gnm(90, 260, 5)}
+	cfg := Config{Seed: 13}
+	base := map[string]*Result{}
+	for _, g := range graphs {
+		for _, pn := range names {
+			base[g.Name+"/"+pn] = runStep(t, g, sprogs[pn], cfg)
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := len(graphs) - 1; i >= 0; i-- {
+			g := graphs[i]
+			for _, pn := range names {
+				r := runStep(t, g, sprogs[pn], cfg)
+				requireEqualResults(t, fmt.Sprintf("reuse%d/%s/%s", pass, g.Name, pn), base[g.Name+"/"+pn], r)
+			}
+		}
+	}
+}
+
+// TestStepFallback covers the blocking-form paths of the step backend:
+// Backend.Run on a goroutine Program delegates to the automatic choice,
+// and RunSpec falls back when the Spec has no step form.
+func TestStepFallback(t *testing.T) {
+	withShards(t, 2)
+	g := graph.Ring(32)
+	prog := testPrograms()["flood"]
+	gb, _ := Lookup("goroutines")
+	want, err := gb.Run(g, prog, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := Lookup("step")
+	got, err := sb.Run(g, prog, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, "step-fallback", want, got)
+
+	viaSpec, err := RunSpec(g, Spec{Program: prog}, "step", Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, "runspec-fallback", want, viaSpec)
+}
+
+// TestRunSpec covers form selection: auto prefers the step form, explicit
+// blocking backends use the blocking form, and malformed Specs error.
+func TestRunSpec(t *testing.T) {
+	withShards(t, 2)
+	g := graph.Ring(48)
+	spec := Spec{Program: testPrograms()["flood"], Step: stepTestPrograms()["flood"]}
+	want, err := RunSpec(g, spec, "goroutines", Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "auto", "step", "pool"} {
+		got, err := RunSpec(g, spec, name, Config{Seed: 3})
+		if err != nil {
+			t.Fatalf("RunSpec(%q): %v", name, err)
+		}
+		requireEqualResults(t, "runspec/"+name, want, got)
+	}
+	if _, err := RunSpec(g, Spec{}, "", Config{}); err == nil {
+		t.Error("empty Spec should fail")
+	}
+	if _, err := RunSpec(g, Spec{Step: spec.Step}, "goroutines", Config{}); err == nil {
+		t.Error("step-only Spec on a blocking backend should fail")
+	}
+	if _, err := RunSpec(g, spec, "nope", Config{}); err == nil || !strings.Contains(err.Error(), "step") {
+		t.Errorf("unknown backend error should list registered names, got %v", err)
+	}
+}
+
+// TestSelectUnknownListsBackends pins the satellite fix: the error for an
+// unknown backend name must name every registered backend.
+func TestSelectUnknownListsBackends(t *testing.T) {
+	_, err := Select("warp", 4)
+	if err == nil {
+		t.Fatal("Select(warp) should fail")
+	}
+	for _, want := range []string{"goroutines", "pool", "step", "auto"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"vavg/internal/metrics"
+)
+
+// BenchDelta compares one (backend, algorithm, family, n) point of a fresh
+// backend benchmark against the same point of a committed baseline.
+// Percentages are relative growth: +10 means the new run is 10% slower
+// (or allocates 10% more) than the baseline.
+type BenchDelta struct {
+	Backend   string
+	Algorithm string
+	Family    string
+	N         int
+
+	OldWallMs, NewWallMs float64
+	WallPct              float64
+	OldAllocs, NewAllocs uint64
+	AllocPct             float64
+	// Regressed marks points whose wall time or allocation count grew past
+	// the comparison threshold.
+	Regressed bool
+}
+
+// CompareReport is the outcome of checking a fresh BackendBench against a
+// committed baseline (typically BENCH_engine.json).
+type CompareReport struct {
+	ThresholdPct float64
+	Deltas       []BenchDelta
+	// Unmatched lists points present in only one of the two benchmarks
+	// (new backends, removed sizes); they are reported but never fail the
+	// gate, so the matrix can grow without invalidating old baselines.
+	Unmatched []string
+	// Regressions counts the deltas with Regressed set.
+	Regressions int
+}
+
+func benchKey(pt BackendPoint) string {
+	return fmt.Sprintf("%s/%s/%s/n=%d", pt.Backend, pt.Algorithm, pt.Family, pt.N)
+}
+
+func pctGrowth(old, new float64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return (new/old - 1) * 100
+}
+
+// CompareBenches diffs a fresh benchmark against a baseline, point by
+// point. A point regresses when its wall time or total allocation count
+// grows by more than thresholdPct percent. Allocation counts are nearly
+// deterministic, so they catch real regressions at tight thresholds; wall
+// time is noisy and is what the threshold headroom is for.
+func CompareBenches(old, fresh *BackendBench, thresholdPct float64) *CompareReport {
+	rep := &CompareReport{ThresholdPct: thresholdPct}
+	oldByKey := make(map[string]BackendPoint, len(old.Points))
+	for _, pt := range old.Points {
+		oldByKey[benchKey(pt)] = pt
+	}
+	matched := make(map[string]bool, len(fresh.Points))
+	for _, pt := range fresh.Points {
+		key := benchKey(pt)
+		base, ok := oldByKey[key]
+		if !ok {
+			rep.Unmatched = append(rep.Unmatched, key+" (only in new run)")
+			continue
+		}
+		matched[key] = true
+		d := BenchDelta{
+			Backend: pt.Backend, Algorithm: pt.Algorithm, Family: pt.Family, N: pt.N,
+			OldWallMs: base.WallMs, NewWallMs: pt.WallMs,
+			WallPct:   pctGrowth(base.WallMs, pt.WallMs),
+			OldAllocs: base.Allocs, NewAllocs: pt.Allocs,
+			AllocPct: pctGrowth(float64(base.Allocs), float64(pt.Allocs)),
+		}
+		if d.WallPct > thresholdPct || d.AllocPct > thresholdPct {
+			d.Regressed = true
+			rep.Regressions++
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for key := range oldByKey {
+		if !matched[key] {
+			rep.Unmatched = append(rep.Unmatched, key+" (only in baseline)")
+		}
+	}
+	sort.Strings(rep.Unmatched)
+	return rep
+}
+
+// Write renders the comparison as a table, worst wall-time growth first.
+func (r *CompareReport) Write(w io.Writer) {
+	deltas := append([]BenchDelta(nil), r.Deltas...)
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].WallPct > deltas[j].WallPct })
+	var rows [][]string
+	for _, d := range deltas {
+		flag := ""
+		if d.Regressed {
+			flag = "REGRESSED"
+		}
+		rows = append(rows, []string{
+			d.Backend, d.Algorithm, d.Family, metrics.I(d.N),
+			fmt.Sprintf("%.1f", d.OldWallMs), fmt.Sprintf("%.1f", d.NewWallMs),
+			fmt.Sprintf("%+.1f%%", d.WallPct),
+			metrics.I(int(d.OldAllocs)), metrics.I(int(d.NewAllocs)),
+			fmt.Sprintf("%+.1f%%", d.AllocPct), flag,
+		})
+	}
+	metrics.Table(w, []string{"backend", "algorithm", "family", "n",
+		"wall ms (old)", "wall ms (new)", "wall Δ", "allocs (old)", "allocs (new)", "allocs Δ", ""}, rows)
+	for _, u := range r.Unmatched {
+		fmt.Fprintf(w, "unmatched: %s\n", u)
+	}
+	fmt.Fprintf(w, "%d/%d points regressed (threshold %+.0f%%)\n",
+		r.Regressions, len(r.Deltas), r.ThresholdPct)
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompareBenches checks the regression gate's arithmetic: matched
+// points diff wall and allocs against the threshold, unmatched points are
+// reported but never counted as regressions.
+func TestCompareBenches(t *testing.T) {
+	pt := func(backend string, n int, wall float64, allocs uint64) BackendPoint {
+		return BackendPoint{
+			Backend: backend, Algorithm: "partition", Family: "ring", N: n,
+			WallMs: wall, Allocs: allocs,
+		}
+	}
+	old := &BackendBench{Points: []BackendPoint{
+		pt("pool", 1024, 10, 1000),
+		pt("step", 1024, 10, 1000),
+		pt("goroutines", 1024, 10, 1000),
+	}}
+	fresh := &BackendBench{Points: []BackendPoint{
+		pt("pool", 1024, 11, 1000),   // +10% wall: within threshold
+		pt("step", 1024, 16, 1000),   // +60% wall: regression
+		pt("step", 4096, 100, 99999), // unmatched size
+	}}
+	rep := CompareBenches(old, fresh, 25)
+	if rep.Regressions != 1 {
+		t.Fatalf("Regressions = %d, want 1", rep.Regressions)
+	}
+	if len(rep.Deltas) != 2 {
+		t.Fatalf("len(Deltas) = %d, want 2", len(rep.Deltas))
+	}
+	for _, d := range rep.Deltas {
+		if wantReg := d.Backend == "step"; d.Regressed != wantReg {
+			t.Errorf("%s: Regressed = %v, want %v", d.Backend, d.Regressed, wantReg)
+		}
+	}
+	// One point only in the new run, one only in the baseline.
+	if len(rep.Unmatched) != 2 {
+		t.Fatalf("Unmatched = %v, want 2 entries", rep.Unmatched)
+	}
+
+	// Allocation growth alone must trip the gate too.
+	fresh2 := &BackendBench{Points: []BackendPoint{pt("pool", 1024, 10, 2000)}}
+	if rep := CompareBenches(old, fresh2, 25); rep.Regressions != 1 {
+		t.Errorf("alloc regression not detected: %d", rep.Regressions)
+	}
+
+	var sb strings.Builder
+	rep.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{"REGRESSED", "only in baseline", "only in new run", "1/2 points regressed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -100,7 +100,7 @@ func All() []Experiment {
 		{"t2-mm", "Table 2 maximal matching", "O(a+log*n)-shaped vertex-avg", runMM},
 		{"fig1", "Figure 1", "segment lengths log^(i) n and per-segment schedule", runFig1},
 		{"ring-reference", "§2 context [12]", "leader election: O(log n) avg commitment vs Θ(n) worst; ring 3-coloring: log* both", runRingReference},
-		{"backends", "engine core (DESIGN.md §1)", "goroutines and pool backends agree on every measure; pool cuts per-round cost", runBackends},
+		{"backends", "engine core (DESIGN.md §1)", "all backends agree on every measure; pool and step cut per-round cost", runBackends},
 		{"ablation-eps", "design choice (§6.1)", "eps trades the palette factor A=(2+eps)a against decay speed", runAblationEps},
 		{"ablation-k", "design choice (§7.5)", "k trades colors against vertex-averaged rounds", runAblationK},
 		{"table1", "Table 1 (summary)", "all vertex-coloring rows at one size", runTable1},

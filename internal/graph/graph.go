@@ -48,12 +48,31 @@ func (g *Graph) Neighbors(u int) []int32 { return g.Adj[g.Off[u]:g.Off[u+1]] }
 // EdgeSlot returns the global directed-edge position of u's k-th neighbor.
 func (g *Graph) EdgeSlot(u, k int) int32 { return g.Off[u] + int32(k) }
 
+// neighborScanCutoff is the degree below which NeighborIndex scans the
+// adjacency list linearly. The paper's graphs are sparse (bounded
+// arboricity), so most lookups hit short lists where a branch-predictable
+// scan beats sort.Search's function-pointer indirection.
+const neighborScanCutoff = 16
+
 // NeighborIndex returns the position of v within u's adjacency list, or -1
-// if u and v are not adjacent. It runs in O(log deg(u)).
+// if u and v are not adjacent. It runs in O(log deg(u)); below a small
+// degree cutoff it scans linearly, exiting early on the sorted order.
 func (g *Graph) NeighborIndex(u, v int) int {
 	adj := g.Neighbors(u)
-	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= int32(v) })
-	if i < len(adj) && adj[i] == int32(v) {
+	w := int32(v)
+	if len(adj) <= neighborScanCutoff {
+		for i, x := range adj {
+			if x >= w {
+				if x == w {
+					return i
+				}
+				return -1
+			}
+		}
+		return -1
+	}
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= w })
+	if i < len(adj) && adj[i] == w {
 		return i
 	}
 	return -1

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -268,5 +269,55 @@ func TestKaryTree(t *testing.T) {
 	}
 	if _, count := Components(g); count != 1 {
 		t.Error("k-ary tree not connected")
+	}
+}
+
+// TestNeighborIndexScanMatchesSearch pins the linear-scan fast path to the
+// binary search on both sides of the degree cutoff, including misses that
+// fall before, between, and after the stored neighbors.
+func TestNeighborIndexScanMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, deg := range []int{0, 1, 2, neighborScanCutoff, neighborScanCutoff + 1, 64, 300} {
+		n := deg + 2
+		b := NewBuilder(n)
+		perm := rng.Perm(n - 1)
+		for _, v := range perm[:deg] {
+			b.AddEdge(0, v+1)
+		}
+		g := b.Build()
+		adj := g.Neighbors(0)
+		for v := 0; v < n; v++ {
+			want := -1
+			for i, x := range adj {
+				if x == int32(v) {
+					want = i
+				}
+			}
+			if got := g.NeighborIndex(0, v); got != want {
+				t.Fatalf("deg=%d: NeighborIndex(0,%d) = %d, want %d", deg, v, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkNeighborIndex measures the lookup on degrees around the linear
+// scan cutoff; the small-degree cases are the hot shape on the paper's
+// bounded-arboricity graphs.
+func BenchmarkNeighborIndex(b *testing.B) {
+	for _, deg := range []int{2, 4, 8, 16, 64, 512} {
+		n := deg + 1
+		gb := NewBuilder(n)
+		for v := 1; v <= deg; v++ {
+			gb.AddEdge(0, v)
+		}
+		g := gb.Build()
+		b.Run(fmt.Sprintf("deg=%d", deg), func(b *testing.B) {
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				// Mix of hits across the list and a guaranteed miss.
+				sink += g.NeighborIndex(0, 1+i%n)
+			}
+			_ = sink
+		})
 	}
 }

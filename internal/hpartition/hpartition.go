@@ -152,15 +152,15 @@ func (t *Tracker) Eligible() bool {
 	return t.HIndex == 0 && t.activeDeg <= t.A
 }
 
-// Step executes one round of Procedure Partition: if the vertex is
-// eligible it joins H-set number (t.round+1), broadcasting Join with the
-// given attachment. It then advances one engine round and absorbs the
-// incoming messages. It returns whether the vertex joined in this round
-// and the full message batch (already absorbed) for further processing by
-// the caller. Step must not be called after the vertex has joined.
-func (t *Tracker) Step(api *engine.API, attach any) (joined bool, msgs []engine.Msg) {
+// Advance executes the decision half of one partition round: if the
+// vertex is eligible it joins H-set number (t.round+1), broadcasting Join
+// with the given attachment, and Advance reports true. Step-form programs
+// call it once per turn, after absorbing the turn's inbox; blocking
+// callers use Step, which also crosses the engine round. It must not be
+// called after the vertex has joined.
+func (t *Tracker) Advance(api *engine.API, attach any) bool {
 	if t.HIndex != 0 {
-		panic("hpartition: Step after joining")
+		panic("hpartition: partition round after joining")
 	}
 	t.round++
 	if t.activeDeg <= t.A {
@@ -170,8 +170,19 @@ func (t *Tracker) Step(api *engine.API, attach any) (joined bool, msgs []engine.
 		} else {
 			api.Broadcast(Join{Index: t.round, Attach: attach})
 		}
-		joined = true
+		return true
 	}
+	return false
+}
+
+// Step executes one round of Procedure Partition: if the vertex is
+// eligible it joins H-set number (t.round+1), broadcasting Join with the
+// given attachment. It then advances one engine round and absorbs the
+// incoming messages. It returns whether the vertex joined in this round
+// and the full message batch (already absorbed) for further processing by
+// the caller. Step must not be called after the vertex has joined.
+func (t *Tracker) Step(api *engine.API, attach any) (joined bool, msgs []engine.Msg) {
+	joined = t.Advance(api, attach)
 	msgs = api.Next()
 	t.Absorb(api, msgs)
 	return joined, msgs

@@ -1,0 +1,64 @@
+package hpartition
+
+import (
+	"vavg/internal/engine"
+)
+
+// Step (state-machine) forms of the partition programs. Each turn is one
+// round of the blocking form: absorb the messages delivered since the
+// previous turn, then take the same join decision the blocking loop body
+// takes — so the step and goroutine executions are byte-identical.
+
+// StepProgram is the step form of Program: standalone Procedure Partition
+// with the Join announcement carried by the engine's Final broadcast.
+func StepProgram(a int, eps float64) engine.StepProgram {
+	return func(api *engine.API) engine.StepFn {
+		t := NewTracker(api, a, eps)
+		var fn engine.StepFn
+		fn = func(api *engine.API, inbox []engine.Msg) engine.Step {
+			t.Absorb(api, inbox)
+			t.round++
+			if t.activeDeg <= t.A {
+				// Terminating output doubles as the Join announcement.
+				return engine.Done(Join{Index: t.round})
+			}
+			return engine.Continue(fn)
+		}
+		return fn
+	}
+}
+
+// GeneralStepProgram is the step form of GeneralProgram: the
+// unknown-arboricity partition with doubling thresholds.
+func GeneralStepProgram(eps float64) engine.StepProgram {
+	if eps <= 0 || eps > 2 {
+		panic("hpartition: eps must be in (0,2]")
+	}
+	return func(api *engine.API) engine.StepFn {
+		activeDeg := api.Degree()
+		seen := make(map[int32]bool, api.Degree())
+		index := int32(0)
+		phase := 1
+		r := 0
+		var fn engine.StepFn
+		fn = func(api *engine.API, inbox []engine.Msg) engine.Step {
+			for _, m := range inbox {
+				if _, ok := m.Data.(engine.Final); ok && !seen[m.From] {
+					seen[m.From] = true
+					activeDeg--
+				}
+			}
+			if r == generalPhaseLen(phase, eps) {
+				phase++
+				r = 0
+			}
+			r++
+			index++
+			if activeDeg <= GeneralThreshold(phase, eps) {
+				return engine.Done(GeneralJoin{Index: index, Phase: int32(phase)})
+			}
+			return engine.Continue(fn)
+		}
+		return fn
+	}
+}

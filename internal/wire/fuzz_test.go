@@ -1,0 +1,44 @@
+package wire
+
+import "testing"
+
+// FuzzRoundTrip fuzzes the tagged fast-lane codec: any in-range
+// (tag, payload) pair must survive Pack/Tag/Payload unchanged, stay
+// non-negative (the fast lane reserves negative space for raw values),
+// and — when the payload itself is a Pair — split back into the same
+// halves. The seed corpus mirrors the table-test cases.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(TagJoin, int64(0))
+	f.Add(TagJoin, int64(12345))
+	f.Add(TagChosen, Pair(6, 1<<31-1))
+	f.Add(TagTent, PayloadMax)
+	f.Add(TagAssign, int64(3))
+	f.Add(uint8(0), int64(1)<<56-1)
+	f.Fuzz(func(t *testing.T, tag uint8, payload int64) {
+		// Fold arbitrary fuzz inputs into the codec's documented domain:
+		// tags stay below 0x80 so packed values stay non-negative, payloads
+		// fit 56 bits.
+		tag &= 0x7f
+		if payload < 0 {
+			payload = -(payload + 1)
+		}
+		payload &= PayloadMax
+
+		x := Pack(tag, payload)
+		if x < 0 {
+			t.Fatalf("Pack(%d,%d) = %d: negative packed value", tag, payload, x)
+		}
+		if Tag(x) != tag || Payload(x) != payload {
+			t.Fatalf("Pack(%d,%d) round-trips to (%d,%d)", tag, payload, Tag(x), Payload(x))
+		}
+
+		// Reinterpret the payload as a Pair: any 56-bit value whose halves
+		// are in range must round-trip through Pair as well.
+		hi, lo := PairHi(payload), PairLo(payload)
+		if hi >= 0 && lo >= 0 {
+			if p := Pair(hi, lo); p != payload || PairHi(p) != hi || PairLo(p) != lo {
+				t.Fatalf("Pair(%d,%d) = %d, want %d", hi, lo, p, payload)
+			}
+		}
+	})
+}

@@ -32,6 +32,9 @@ var registry = []Algorithm{
 		program: func(p Params) engine.Program {
 			return hpartition.Program(p.Arboricity, p.Eps)
 		},
+		step: func(p Params) engine.StepProgram {
+			return hpartition.StepProgram(p.Arboricity, p.Eps)
+		},
 	},
 	{
 		Name:           "general-partition",
@@ -42,6 +45,9 @@ var registry = []Algorithm{
 		VertexAvgBound: "O(log² a)",
 		program: func(p Params) engine.Program {
 			return hpartition.GeneralProgram(p.Eps)
+		},
+		step: func(p Params) engine.StepProgram {
+			return hpartition.GeneralStepProgram(p.Eps)
 		},
 	},
 	{
@@ -54,6 +60,9 @@ var registry = []Algorithm{
 		program: func(p Params) engine.Program {
 			return forest.Program(p.Arboricity, p.Eps)
 		},
+		step: func(p Params) engine.StepProgram {
+			return forest.StepProgram(p.Arboricity, p.Eps)
+		},
 	},
 	{
 		Name:           "forest-decomp-wc",
@@ -64,6 +73,9 @@ var registry = []Algorithm{
 		VertexAvgBound: "Θ(log n)",
 		program: func(p Params) engine.Program {
 			return baseline.ForestDecompositionWC(p.Arboricity, p.Eps)
+		},
+		step: func(p Params) engine.StepProgram {
+			return baseline.ForestDecompositionWCStep(p.Arboricity, p.Eps)
 		},
 	},
 	{
@@ -80,6 +92,9 @@ var registry = []Algorithm{
 		program: func(p Params) engine.Program {
 			return coloring.ArbLinialO1(p.Arboricity, p.Eps)
 		},
+		step: func(p Params) engine.StepProgram {
+			return coloring.ArbLinialO1Step(p.Arboricity, p.Eps)
+		},
 	},
 	{
 		Name:           "arblinial-wc",
@@ -94,6 +109,9 @@ var registry = []Algorithm{
 		},
 		program: func(p Params) engine.Program {
 			return baseline.ArbLinialWC(p.Arboricity, p.Eps)
+		},
+		step: func(p Params) engine.StepProgram {
+			return baseline.ArbLinialWCStep(p.Arboricity, p.Eps)
 		},
 	},
 	{
@@ -110,6 +128,9 @@ var registry = []Algorithm{
 		program: func(p Params) engine.Program {
 			return coloring.TwoPhaseA2(p.Arboricity, p.Eps)
 		},
+		step: func(p Params) engine.StepProgram {
+			return coloring.TwoPhaseA2Step(p.Arboricity, p.Eps)
+		},
 	},
 	{
 		Name:           "iterated-arblinial-wc",
@@ -124,6 +145,9 @@ var registry = []Algorithm{
 		},
 		program: func(p Params) engine.Program {
 			return baseline.IteratedArbLinialWC(p.Arboricity, p.Eps)
+		},
+		step: func(p Params) engine.StepProgram {
+			return baseline.IteratedArbLinialWCStep(p.Arboricity, p.Eps)
 		},
 	},
 	{
@@ -140,6 +164,9 @@ var registry = []Algorithm{
 		program: func(p Params) engine.Program {
 			return coloring.AColorLogLog(p.Arboricity, p.Eps)
 		},
+		step: func(p Params) engine.StepProgram {
+			return coloring.AColorLogLogStep(p.Arboricity, p.Eps)
+		},
 	},
 	{
 		Name:           "arbcolor-wc",
@@ -154,6 +181,9 @@ var registry = []Algorithm{
 		},
 		program: func(p Params) engine.Program {
 			return baseline.ArbColorWC(p.Arboricity, p.Eps)
+		},
+		step: func(p Params) engine.StepProgram {
+			return baseline.ArbColorWCStep(p.Arboricity, p.Eps)
 		},
 	},
 	{
@@ -170,6 +200,9 @@ var registry = []Algorithm{
 		program: func(p Params) engine.Program {
 			return segment.KA2Coloring(p.Arboricity, p.K, p.Eps)
 		},
+		step: func(p Params) engine.StepProgram {
+			return segment.KA2Step(p.Arboricity, p.K, p.Eps)
+		},
 	},
 	{
 		Name:           "ka",
@@ -184,6 +217,9 @@ var registry = []Algorithm{
 		},
 		program: func(p Params) engine.Program {
 			return segment.KAColoring(p.Arboricity, p.K, p.Eps)
+		},
+		step: func(p Params) engine.StepProgram {
+			return segment.KAStep(p.Arboricity, p.K, p.Eps)
 		},
 	},
 	{
@@ -239,6 +275,9 @@ var registry = []Algorithm{
 		program: func(Params) engine.Program {
 			return randcolor.DeltaPlus1()
 		},
+		step: func(Params) engine.StepProgram {
+			return randcolor.DeltaPlus1Step()
+		},
 	},
 	{
 		Name:           "aloglog-rand",
@@ -253,6 +292,9 @@ var registry = []Algorithm{
 		},
 		program: func(p Params) engine.Program {
 			return randcolor.ALogLog(p.Arboricity, p.Eps)
+		},
+		step: func(p Params) engine.StepProgram {
+			return randcolor.ALogLogStep(p.Arboricity, p.Eps)
 		},
 	},
 	{
@@ -276,6 +318,9 @@ var registry = []Algorithm{
 		program: func(p Params) engine.Program {
 			return baseline.MISByColoringWC(p.Arboricity, p.Eps)
 		},
+		step: func(p Params) engine.StepProgram {
+			return baseline.MISByColoringWCStep(p.Arboricity, p.Eps)
+		},
 	},
 	{
 		Name:           "mis-luby",
@@ -286,6 +331,9 @@ var registry = []Algorithm{
 		VertexAvgBound: "O(log n) w.h.p.",
 		program: func(Params) engine.Program {
 			return baseline.LubyMIS()
+		},
+		step: func(Params) engine.StepProgram {
+			return baseline.LubyMISStep()
 		},
 	},
 	{
@@ -323,6 +371,9 @@ var registry = []Algorithm{
 		program: func(Params) engine.Program {
 			return baseline.Ring3Coloring()
 		},
+		step: func(Params) engine.StepProgram {
+			return baseline.Ring3ColoringStep()
+		},
 	},
 	{
 		Name:           "leader-ring",
@@ -333,6 +384,9 @@ var registry = []Algorithm{
 		VertexAvgBound: "O(log n) commitment",
 		program: func(Params) engine.Program {
 			return baseline.LeaderElectionRing()
+		},
+		step: func(Params) engine.StepProgram {
+			return baseline.LeaderElectionRingStep()
 		},
 	},
 }

@@ -74,9 +74,11 @@ type Params struct {
 	// SkipValidation disables output checking (benchmarks).
 	SkipValidation bool
 	// Backend selects the engine execution backend: "goroutines", "pool",
-	// or ""/"auto" to pick by graph size. Backends are execution
-	// strategies only — equal seeds yield identical results on all of
-	// them; see engine.Backends for the registered names.
+	// "step", or ""/"auto" to pick automatically (the goroutine-free step
+	// backend whenever the algorithm has a step form, otherwise by graph
+	// size). Backends are execution strategies only — equal seeds yield
+	// identical results on all of them; see engine.Backends for the
+	// registered names.
 	Backend string
 	// SweepWorkers bounds the sweep scheduler's concurrency: Sweep fans
 	// its (size, seed) run points across this many goroutines. 0 means
@@ -140,13 +142,27 @@ type Algorithm struct {
 	Palette func(n int, p Params) int
 	// program builds the per-vertex program.
 	program func(p Params) engine.Program
+	// step builds the per-round state-machine form of the same program,
+	// or is nil for algorithms not yet migrated. When present, runs
+	// prefer the goroutine-free step backend; the two forms are
+	// byte-identical by construction (the cross-backend equivalence suite
+	// enforces it).
+	step func(p Params) engine.StepProgram
 }
+
+// HasStep reports whether the algorithm has a step (state-machine) form
+// and therefore runs goroutine-free on the step backend.
+func (alg Algorithm) HasStep() bool { return alg.step != nil }
 
 // Run executes the algorithm on g, validates the output (unless
 // disabled), and reports the paper's measures.
 func (alg Algorithm) Run(g *Graph, p Params) (Report, error) {
 	p = p.withDefaults(g)
-	res, err := engine.Run(g, alg.program(p), engine.Options{Seed: p.Seed, MaxRounds: p.MaxRounds, Backend: p.Backend})
+	spec := engine.Spec{Program: alg.program(p)}
+	if alg.step != nil {
+		spec.Step = alg.step(p)
+	}
+	res, err := engine.RunSpec(g, spec, engine.Options{Seed: p.Seed, MaxRounds: p.MaxRounds, Backend: p.Backend})
 	if err != nil {
 		return Report{}, fmt.Errorf("vavg: %s on %s: %w", alg.Name, g.Name, err)
 	}
