@@ -1,0 +1,79 @@
+// Command vavglint runs the vavg static-analysis suite (internal/
+// analysis) over module packages and reports contract violations:
+//
+//	go run ./cmd/vavglint ./...
+//
+// Analyzers: detorder (map-iteration order must not reach results),
+// noglobalrand (vertex code draws only from the per-vertex seeded PRNG),
+// stepcontract (step-form programs never block), wiretag (fast-lane tags
+// come from internal/wire constants), and hotpath (//vavg:hotpath
+// functions stay allocation-free). Suppress a deliberate exception with
+// //lint:ignore <analyzer> <reason> on or directly above the flagged
+// line; //lint:file-ignore covers a whole file.
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vavg/internal/analysis"
+)
+
+func main() {
+	var (
+		names = flag.String("analyzers", "", "comma-separated subset to run (default: all)")
+		list  = flag.Bool("list", false, "list analyzers and exit")
+		dir   = flag.String("C", ".", "module directory to run in")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vavglint [flags] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *names != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*names, ",") {
+			a, err := analysis.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPackages(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := analysis.RunAnalyzers(analyzers, pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "vavglint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

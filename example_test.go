@@ -3,6 +3,7 @@ package vavg_test
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"vavg"
 )
@@ -36,6 +37,9 @@ func ExampleSimulate() {
 			for v := range known {
 				ids = append(ids, v)
 			}
+			// Message bytes must be deterministic across runs, so never
+			// broadcast a slice in map-iteration order.
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 			api.Broadcast(ids)
 			for _, m := range api.Next() {
 				for _, v := range m.Data.([]int32) {

@@ -27,9 +27,12 @@ func localMinDominators(api *vavg.API) any {
 		active[w] = true
 	}
 	for {
+		// Scan neighbors in ID order (NeighborIDs is sorted) rather than
+		// ranging over the map: vertex decisions must never depend on
+		// map-iteration order.
 		isMin := true
-		for w := range active {
-			if int(w) < api.ID() {
+		for _, w := range api.NeighborIDs() {
+			if active[w] && int(w) < api.ID() {
 				isMin = false
 				break
 			}

@@ -1,0 +1,18 @@
+package analysis
+
+import "fmt"
+
+// All returns the full vavglint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Detorder, Noglobalrand, Stepcontract, Wiretag, Hotpath}
+}
+
+// ByName resolves a comma-separable analyzer name.
+func ByName(name string) (*Analyzer, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("analysis: unknown analyzer %q (available: detorder, noglobalrand, stepcontract, wiretag, hotpath)", name)
+}

@@ -1,0 +1,154 @@
+// Package antest is vavglint's fixture harness, the offline counterpart
+// of golang.org/x/tools/go/analysis/analysistest: it type-checks a
+// testdata fixture package against the module's export data, runs one
+// analyzer over it, and compares the diagnostics with the fixture's
+// expectations.
+//
+// Expectations are `// want "regexp"` comments: a diagnostic is expected
+// on that source line with a message matching each quoted pattern.
+// Every expectation must be met and every diagnostic must be expected —
+// fixture lines carrying a //lint:ignore suppression therefore double as
+// tests that the suppression machinery works (a leaking diagnostic is an
+// unexpected finding).
+package antest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"vavg/internal/analysis"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+	loaderErr  error
+)
+
+// ModuleRoot locates the enclosing module's directory from the current
+// working directory (each test runs in its package directory).
+func ModuleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Dir(strings.TrimSpace(string(out))), nil
+}
+
+// Loader returns the process-wide fixture loader. The export pass behind
+// it shells out to the go command once; every analyzer test shares the
+// result.
+func Loader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := ModuleRoot()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = analysis.NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("antest: building loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// expectation is one `// want` pattern, keyed by file and line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	met     bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var patternRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"` + "|`([^`]*)`")
+
+// parseWants extracts the expectations of one fixture file.
+func parseWants(t *testing.T, filename string) []*expectation {
+	t.Helper()
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		t.Fatalf("antest: %v", err)
+	}
+	var wants []*expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		pats := patternRE.FindAllStringSubmatch(m[1], -1)
+		if len(pats) == 0 {
+			t.Fatalf("antest: %s:%d: want comment carries no quoted pattern", filename, i+1)
+		}
+		for _, p := range pats {
+			text := p[1]
+			if p[2] != "" {
+				text = p[2]
+			} else {
+				text = strings.ReplaceAll(text, `\"`, `"`)
+			}
+			re, err := regexp.Compile(text)
+			if err != nil {
+				t.Fatalf("antest: %s:%d: bad want pattern %q: %v", filename, i+1, text, err)
+			}
+			wants = append(wants, &expectation{file: filename, line: i + 1, pattern: re})
+		}
+	}
+	return wants
+}
+
+// Run loads the fixture package in dir (relative to the test's working
+// directory), applies the analyzer, and reports any mismatch between
+// diagnostics and `// want` expectations.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("antest: %v", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(abs, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("antest: no fixture files in %s (%v)", abs, err)
+	}
+	sort.Strings(matches)
+	var wants []*expectation
+	for _, f := range matches {
+		wants = append(wants, parseWants(t, f)...)
+	}
+	l := Loader(t)
+	pkg, err := l.CheckFiles("vavg/internal/analysis/testdata/"+filepath.Base(abs), matches)
+	if err != nil {
+		t.Fatalf("antest: loading fixture %s: %v", abs, err)
+	}
+	diags := analysis.RunAnalyzers([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}

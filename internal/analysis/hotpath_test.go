@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vavg/internal/analysis"
+	"vavg/internal/analysis/antest"
+)
+
+func TestHotpath(t *testing.T) {
+	antest.Run(t, analysis.Hotpath, "testdata/hotpath")
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader type-checks module packages without golang.org/x/tools and
+// without the network: `go list -export` makes the go command compile
+// export data for every dependency (standard library included) into the
+// build cache, and go/importer's gc importer reads those files back
+// through a lookup function. Target packages themselves are parsed from
+// source so analyzers get full syntax trees with comments.
+
+// A Package is one type-checked unit: a package's compiled files plus its
+// in-package test files, or the external (_test-suffixed) test package.
+type Package struct {
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// Dir is the package's source directory.
+	Dir string
+}
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath    string
+	Name          string
+	Dir           string
+	Export        string
+	Standard      bool
+	ForTest       string
+	GoFiles       []string
+	TestGoFiles   []string
+	XTestGoFiles  []string
+	Error         *listErr
+	DepsErrors    []*listErr
+	InvalidGoFile string
+}
+
+type listErr struct {
+	Err string
+}
+
+// A Loader resolves import paths to export data and type-checks source
+// files against it. Create one with NewLoader, then call LoadPackages for
+// module packages or CheckFiles for loose files (fixtures).
+type Loader struct {
+	// Dir is the module directory go commands run in.
+	Dir  string
+	Fset *token.FileSet
+
+	exports map[string]string
+	imp     types.Importer
+}
+
+// NewLoader builds a loader for the module rooted at dir, with export
+// data covering the given package patterns, their dependencies, and their
+// test dependencies. Patterns default to ./... .
+func NewLoader(dir string, patterns ...string) (*Loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-test", "-json"}, patterns...)
+	out, err := runGo(dir, args)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Dir:     dir,
+		Fset:    token.NewFileSet(),
+		exports: map[string]string{},
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		// Test-augmented variants ("pkg [pkg.test]") carry export data for
+		// the test build; the plain compilation is the one imports resolve
+		// to, so prefer it and never overwrite.
+		if p.Export == "" || p.ForTest != "" || strings.Contains(p.ImportPath, " [") {
+			continue
+		}
+		if _, ok := l.exports[p.ImportPath]; !ok {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return l, nil
+}
+
+// LoadPackages parses and type-checks the module packages matching the
+// patterns (default ./...). Each package yields up to two units: its
+// compiled plus in-package test files, and its external test package. The
+// tree must compile; any parse, list, or type error fails the load.
+func (l *Loader) LoadPackages(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-json"}, patterns...)
+	out, err := runGo(l.Dir, args)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		units := []struct {
+			path  string
+			files []string
+		}{
+			{p.ImportPath, append(append([]string{}, p.GoFiles...), p.TestGoFiles...)},
+			{p.ImportPath + "_test", p.XTestGoFiles},
+		}
+		for _, u := range units {
+			if len(u.files) == 0 {
+				continue
+			}
+			full := make([]string, len(u.files))
+			for i, f := range u.files {
+				full[i] = filepath.Join(p.Dir, f)
+			}
+			pkg, err := l.CheckFiles(u.path, full)
+			if err != nil {
+				return nil, err
+			}
+			pkg.Dir = p.Dir
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// CheckFiles parses and type-checks the given source files as one package
+// with the given import path, resolving imports through the loader's
+// export data. Fixture packages under testdata load through here.
+func (l *Loader) CheckFiles(path string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l.imp,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s:\n\t%s", path, strings.Join(typeErrs, "\n\t"))
+	}
+	return &Package{Fset: l.Fset, Syntax: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+func runGo(dir string, args []string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return stdout.Bytes(), nil
+}

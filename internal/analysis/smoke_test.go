@@ -1,0 +1,44 @@
+package analysis_test
+
+import (
+	"os/exec"
+	"testing"
+
+	"vavg/internal/analysis"
+	"vavg/internal/analysis/antest"
+)
+
+// TestSuiteCleanOnModule is the in-process gate: the full analyzer suite
+// must report zero findings on the module itself. Any true positive gets
+// fixed; any deliberate exception carries a //lint:ignore with a reason.
+func TestSuiteCleanOnModule(t *testing.T) {
+	l := antest.Loader(t)
+	pkgs, err := l.LoadPackages("./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages")
+	}
+	diags := analysis.RunAnalyzers(analysis.All(), pkgs)
+	for _, d := range diags {
+		t.Errorf("finding on clean tree: %s", d)
+	}
+}
+
+// TestVavglintCommand runs the installed entry point the way CI does and
+// requires a zero exit.
+func TestVavglintCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go run in -short mode")
+	}
+	root, err := antest.ModuleRoot()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/vavglint", "./...")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("vavglint exited nonzero: %v\n%s", err, out)
+	}
+}

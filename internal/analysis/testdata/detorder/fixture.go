@@ -1,0 +1,85 @@
+// Fixture for the detorder analyzer: map ranges whose iteration order
+// can leak into results are flagged; order-insensitive idioms and
+// deliberate suppressions are accepted.
+package fixture
+
+import "sort"
+
+// keysUnsorted accumulates map keys and never sorts them: the slice's
+// element order is Go's randomized iteration order.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "appended in map-iteration order and never sorted"
+	}
+	return out
+}
+
+// keysSorted is the accepted collect-then-sort idiom.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// emit calls a side-effecting function per element: the call sequence is
+// iteration-ordered.
+func emit(m map[string]int, send func(int)) {
+	for _, v := range m { // want "order-dependent effects"
+		send(v)
+	}
+}
+
+// emitWitness shows the sanctioned escape hatch for scans where any
+// element is an equally valid result.
+func emitWitness(m map[string]int, send func(int)) {
+	//lint:ignore detorder fixture: any element is a valid witness, order is immaterial
+	for _, v := range m {
+		send(v)
+	}
+}
+
+// sumAll is commutative integer aggregation — order-free.
+func sumAll(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sumUntil mixes aggregation with a constant early exit: the exit point
+// decides how many additions ran, so the aggregate is order-dependent.
+func sumUntil(m map[string]int, total *int) bool {
+	for _, v := range m {
+		*total += v
+		if v > 10 {
+			return true // want "early exit from a map range that also mutates state"
+		}
+	}
+	return false
+}
+
+// minValue is the accepted strict-selection idiom: the minimum is the
+// same whatever order the loop visits.
+func minValue(m map[string]int) int {
+	best := int(^uint(0) >> 1)
+	for _, v := range m {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// invert writes each entry once, keyed by the iteration variables.
+func invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}

@@ -1,0 +1,67 @@
+// Fixture for the hotpath analyzer: functions carrying the
+// //vavg:hotpath directive must stay allocation-free.
+package fixture
+
+import "fmt"
+
+func sink(v any) {}
+
+// hotAllocs commits every flagged construct at once.
+//
+//vavg:hotpath
+func hotAllocs(xs []int) []int {
+	seen := map[int]bool{} // want "map literal allocates"
+	fmt.Println(len(seen)) // want "fmt call allocates"
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "no reserved capacity"
+	}
+	return out
+}
+
+// hotBoxes passes a concrete value to an interface parameter — the
+// implicit conversion allocates.
+//
+//vavg:hotpath
+func hotBoxes(x int) {
+	sink(x) // want "boxes int into interface parameter"
+}
+
+// hotCapped appends into a parameter and a preallocated slice — both
+// trusted by the engine's reuse discipline.
+//
+//vavg:hotpath
+func hotCapped(xs []int, out []int) []int {
+	tmp := make([]int, 0, len(xs))
+	for _, x := range xs {
+		tmp = append(tmp, x)
+	}
+	for _, x := range tmp {
+		out = append(out, x)
+	}
+	return out
+}
+
+// hotGuard formats rich context on a panic path: error guards ending in
+// panic are cold by construction and exempt.
+//
+//vavg:hotpath
+func hotGuard(k, n int) {
+	if k < 0 || k >= n {
+		panic(fmt.Sprintf("index %d out of range [0,%d)", k, n))
+	}
+}
+
+// hotSuppressed shows the sanctioned escape hatch.
+//
+//vavg:hotpath
+func hotSuppressed() map[int]bool {
+	//lint:ignore hotpath fixture: setup path, runs once per run
+	return map[int]bool{}
+}
+
+// coldUnannotated is outside the contract: no directive, no checks.
+func coldUnannotated() map[int]bool {
+	fmt.Println("cold")
+	return map[int]bool{}
+}

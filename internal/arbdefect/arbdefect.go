@@ -31,6 +31,7 @@ package arbdefect
 
 import (
 	"math"
+	"sort"
 
 	"vavg/internal/coloring"
 	"vavg/internal/engine"
@@ -191,8 +192,15 @@ func stage(api *engine.API, tr *hpartition.Tracker, prm Params, lo, hi int32, sy
 	for api.Round() < waveEnd {
 		recv(api.Next())
 	}
-	var leafMembers []int
+	// Sorted members: leafMembers parameterizes the iterated-Linial
+	// coloring below, so its order must not inherit map-iteration order.
+	ordered := make([]int, 0, len(stageMember))
 	for kk := range stageMember {
+		ordered = append(ordered, kk)
+	}
+	sort.Ints(ordered)
+	var leafMembers []int
+	for _, kk := range ordered {
 		same := true
 		for l := 0; l < numLevels; l++ {
 			if len(paths[kk]) <= l || paths[kk][l]*int64(k)+int64(choices[kk][l]) !=

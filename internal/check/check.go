@@ -173,6 +173,7 @@ func AcyclicOrientation(g *graph.Graph, o Orientation, maxOut, maxLen int) (outD
 	}
 	outAdj := make([][]int32, n)
 	outCount := make([]int, n)
+	//lint:ignore detorder any violating edge is a valid error witness; the success path aggregates per-edge counts
 	for e, head := range o {
 		if head != e.U && head != e.V {
 			return 0, 0, fmt.Errorf("check: edge {%d,%d} oriented toward non-endpoint %d", e.U, e.V, head)
@@ -244,6 +245,7 @@ func ForestDecomposition(g *graph.Graph, o Orientation, labels map[graph.Edge]in
 		return fmt.Errorf("check: %d labeled edges, graph has %d", len(labels), g.M())
 	}
 	perLabelOut := map[[2]int32]bool{} // (tail, label)
+	//lint:ignore detorder any violating edge is a valid error witness; the success path writes one set entry per edge
 	for e, l := range labels {
 		if l < 1 || l > maxLabel {
 			return fmt.Errorf("check: edge {%d,%d} label %d outside [1,%d]", e.U, e.V, l, maxLabel)

@@ -7,10 +7,12 @@ import (
 )
 
 func TestLogStar(t *testing.T) {
-	cases := map[int]int{1: 0, 2: 1, 4: 2, 16: 3, 65536: 4, 1 << 20: 5}
-	for n, want := range cases {
-		if got := LogStar(n); got != want {
-			t.Errorf("LogStar(%d) = %d, want %d", n, got, want)
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {4, 2}, {16, 3}, {65536, 4}, {1 << 20, 5},
+	}
+	for _, c := range cases {
+		if got := LogStar(c.n); got != c.want {
+			t.Errorf("LogStar(%d) = %d, want %d", c.n, got, c.want)
 		}
 	}
 }

@@ -518,6 +518,8 @@ func (a *API) Commit() {
 // queue stages c for the k-th neighbor in the vertex's flat outbox slot,
 // recording the slot in the dirty list on first touch. Re-sending to the
 // same neighbor in the same round overwrites in place.
+//
+//vavg:hotpath
 func (a *API) queue(k int, c cell) {
 	if k < 0 || k >= len(a.out) {
 		panic(fmt.Sprintf("engine: vertex %d: neighbor index %d out of range [0,%d)", a.v, k, len(a.out)))
@@ -597,6 +599,8 @@ func (a *API) BroadcastInt(x int64) {
 // swaps the buffers. Message accounting stays per-receiver-per-round: only
 // the first broadcast of a round counts and notifies; overwrites by later
 // broadcasts or re-staged sends are the same message, already counted.
+//
+//vavg:hotpath
 func (a *API) writeThrough(c cell) {
 	for _, k := range a.dirty {
 		a.out[k] = cell{}
@@ -624,6 +628,8 @@ func (a *API) writeThrough(c cell) {
 // broadcast bookkeeping. Each cell is written only by this vertex (the
 // slot is receiver-side position Rev[p] of the directed edge), so delivery
 // needs no locks.
+//
+//vavg:hotpath
 func (a *API) flush() {
 	bcast := a.bcast
 	a.bcast = false
@@ -649,6 +655,8 @@ func (a *API) flush() {
 
 // sortInt32 insertion-sorts s in place; dirty lists are degree-bounded and
 // usually already ascending, where insertion sort is branch-cheap.
+//
+//vavg:hotpath
 func sortInt32(s []int32) {
 	for i := 1; i < len(s); i++ {
 		for j := i; j > 0 && s[j] < s[j-1]; j-- {
@@ -659,6 +667,8 @@ func sortInt32(s []int32) {
 
 // collect appends this round's inbox (ordered by neighbor index) to buf,
 // clearing the slots it drains.
+//
+//vavg:hotpath
 func (a *API) collect(buf []Msg) []Msg {
 	g := a.core.g
 	lo, hi := g.Off[a.v], g.Off[a.v+1]

@@ -100,6 +100,7 @@ func testPrograms() map[string]Program {
 			}
 			// Double broadcast (second write-through overwrites the first),
 			// then a single staged send overriding one slot of it.
+			//lint:ignore wiretag deliberate raw negative payload exercising lane equivalence, not a wire.Pack word
 			api.BroadcastInt(-7)
 			api.BroadcastInt(int64(api.ID()))
 			if deg > 0 {
@@ -159,6 +160,17 @@ func testGraphs() map[string]*graph.Graph {
 	}
 }
 
+// sortedNames returns m's keys in ascending order, so test subcases run in
+// a deterministic sequence regardless of map-iteration order.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func runBoth(t *testing.T, g *graph.Graph, prog Program, cfg Config) (*Result, *Result) {
 	t.Helper()
 	gb, _ := Lookup("goroutines")
@@ -196,11 +208,12 @@ func requireEqualResults(t *testing.T, label string, rg, rp *Result) {
 
 func TestCrossBackendEquivalence(t *testing.T) {
 	withShards(t, 4)
-	for gname, g := range testGraphs() {
-		for pname, prog := range testPrograms() {
+	graphs, progs := testGraphs(), testPrograms()
+	for _, gname := range sortedNames(graphs) {
+		for _, pname := range sortedNames(progs) {
 			for _, seed := range []int64{1, 42} {
 				label := fmt.Sprintf("%s/%s/seed%d", gname, pname, seed)
-				rg, rp := runBoth(t, g, prog, Config{Seed: seed})
+				rg, rp := runBoth(t, graphs[gname], progs[pname], Config{Seed: seed})
 				requireEqualResults(t, label, rg, rp)
 			}
 		}
@@ -210,8 +223,9 @@ func TestCrossBackendEquivalence(t *testing.T) {
 func TestPoolSingleShardEquivalence(t *testing.T) {
 	withShards(t, 1)
 	g := graph.ForestUnion(120, 3, 11)
-	for pname, prog := range testPrograms() {
-		rg, rp := runBoth(t, g, prog, Config{Seed: 5})
+	progs := testPrograms()
+	for _, pname := range sortedNames(progs) {
+		rg, rp := runBoth(t, g, progs[pname], Config{Seed: 5})
 		requireEqualResults(t, "1shard/"+pname, rg, rp)
 	}
 }

@@ -76,7 +76,8 @@ func TestMessageLanes(t *testing.T) {
 	g := graph.Path(2)
 	prog := func(api *API) any {
 		if api.ID() == 0 {
-			api.SendInt(0, -42) // any int64 is legal on the raw lane
+			//lint:ignore wiretag any int64 is legal on the raw lane; this exercises a negative non-Pack word
+			api.SendInt(0, -42)
 			api.Next()
 			api.Send(0, "boxed")
 			api.Next()

@@ -102,6 +102,8 @@ func (rt *poolRuntime) shardOf(v int32) *shard { return rt.shards[v/rt.shardSize
 // round, waking it if it is idle-parked. The msgRound CAS deduplicates to
 // one pending entry per receiver per round; entries for receivers that
 // turn out to be runnable (or terminated) are dropped at drain time.
+//
+//vavg:hotpath
 func (rt *poolRuntime) notifySend(recv int32) {
 	s := rt.shardOf(recv)
 	i := recv - s.lo
@@ -120,6 +122,9 @@ func (rt *poolRuntime) notifySend(recv int32) {
 	}
 }
 
+// next crosses the round barrier for an active vertex.
+//
+//vavg:hotpath
 func (rt *poolRuntime) next(a *API, buf []Msg) []Msg {
 	a.flush()
 	a.round++
@@ -138,6 +143,8 @@ func (rt *poolRuntime) next(a *API, buf []Msg) []Msg {
 // happen in rounds W+1..W+k (early on message arrival, finally at expiry
 // E = W+k), each collecting the previous round's deliveries — exactly the
 // rounds and inbox contents a loop of k Next calls would observe.
+//
+//vavg:hotpath
 func (rt *poolRuntime) idle(a *API, k int, buf []Msg) []Msg {
 	if k <= 0 {
 		return buf

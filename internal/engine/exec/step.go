@@ -160,6 +160,8 @@ func (rt *stepRuntime) shardOf(v int32) *stepShard { return rt.shards[v/rt.shard
 // buffers recycle a slot after two rounds, so an undrained delivery would
 // be lost or misread). Entries for receivers that turn out to be active
 // or terminated are dropped at drain time, as in the pool backend.
+//
+//vavg:hotpath
 func (rt *stepRuntime) notifySend(recv int32) {
 	s := rt.shardOf(recv)
 	i := recv - s.lo

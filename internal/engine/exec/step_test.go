@@ -111,6 +111,7 @@ func stepTestPrograms() map[string]StepProgram {
 						sum += int64(v)
 					}
 				}
+				//lint:ignore wiretag deliberate raw negative payload exercising lane equivalence, not a wire.Pack word
 				api.BroadcastInt(-7)
 				api.BroadcastInt(int64(api.ID()))
 				if deg > 0 {
@@ -190,16 +191,17 @@ func TestStepBackendEquivalence(t *testing.T) {
 	for _, shards := range []int{1, 4} {
 		withShards(t, shards)
 		sprogs := stepTestPrograms()
-		for gname, g := range testGraphs() {
-			for pname, prog := range testPrograms() {
+		graphs, progs := testGraphs(), testPrograms()
+		for _, gname := range sortedNames(graphs) {
+			for _, pname := range sortedNames(progs) {
 				for _, seed := range []int64{1, 42} {
 					label := fmt.Sprintf("%dshards/%s/%s/seed%d", shards, gname, pname, seed)
 					gb, _ := Lookup("goroutines")
-					rg, err := gb.Run(g, prog, Config{Seed: seed})
+					rg, err := gb.Run(graphs[gname], progs[pname], Config{Seed: seed})
 					if err != nil {
 						t.Fatalf("%s: goroutines: %v", label, err)
 					}
-					rs := runStep(t, g, sprogs[pname], Config{Seed: seed})
+					rs := runStep(t, graphs[gname], sprogs[pname], Config{Seed: seed})
 					requireEqualResults(t, label, rg, rs)
 				}
 			}

@@ -41,11 +41,9 @@ type edgeState struct {
 }
 
 func (st *edgeState) usedList() []int32 {
-	out := make([]int32, 0, len(st.used))
-	for c := range st.used {
-		out = append(out, c)
-	}
-	return out
+	// Sorted: the list travels inside edgeRequest messages, and message
+	// bytes must not depend on map-iteration order.
+	return sortedKeys(st.used)
 }
 
 // serveRequests assigns a color to every edgeRequest in msgs, in tail-ID
@@ -183,6 +181,7 @@ func CollectEdgeColors(g *graph.Graph, outputs []any) (map[graph.Edge]int, error
 		if !ok {
 			return nil, fmt.Errorf("extend: vertex %d output %T, want EdgeOutput", v, outputs[v])
 		}
+		//lint:ignore detorder any violating edge is a valid error witness; the success path writes one map entry per edge
 		for tail, c := range out.Assigned {
 			if !g.HasEdge(v, int(tail)) {
 				return nil, fmt.Errorf("extend: vertex %d assigned color to non-edge {%d,%d}", v, v, tail)

@@ -1,6 +1,7 @@
 package extend
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -67,6 +68,7 @@ func TestEdgeColoringValid(t *testing.T) {
 			t.Errorf("%s: %v", c.g.Name, err)
 		}
 		// Per-edge guarantee: color <= deg(u)+deg(v)-2.
+		//lint:ignore detorder any violating edge is a valid error witness; the scan only reads
 		for e, col := range colors {
 			if col > c.g.Degree(int(e.U))+c.g.Degree(int(e.V))-2 {
 				t.Errorf("%s: edge {%d,%d} color %d too large", c.g.Name, e.U, e.V, col)
@@ -97,7 +99,13 @@ func TestVertexAveragedIndependentOfDelta(t *testing.T) {
 		"edge":       EdgeColoring,
 		"matching":   MaximalMatching,
 	}
-	for name, mk := range progs {
+	names := make([]string, 0, len(progs))
+	for n := range progs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mk := progs[name]
 		var avgs []float64
 		for _, k := range []int{4, 16, 64} {
 			g := graph.StarForest(1024, k)
@@ -158,12 +166,16 @@ func TestExtendDeterministicAcrossSeeds(t *testing.T) {
 	// All Section 8 algorithms are deterministic: outputs must be
 	// independent of the engine seed.
 	g := graph.ForestUnion(150, 2, 8)
-	for name, mk := range map[string]engine.Program{
-		"mis":      MIS(2, 2),
-		"dp1":      DeltaPlus1(2, 2),
-		"edge":     EdgeColoring(2, 2),
-		"matching": MaximalMatching(2, 2),
+	for _, c := range []struct {
+		name string
+		mk   engine.Program
+	}{
+		{"mis", MIS(2, 2)},
+		{"dp1", DeltaPlus1(2, 2)},
+		{"edge", EdgeColoring(2, 2)},
+		{"matching", MaximalMatching(2, 2)},
 	} {
+		name, mk := c.name, c.mk
 		r1, err := engine.Run(g, mk, engine.Options{Seed: 1, MaxRounds: 1 << 20})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

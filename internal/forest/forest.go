@@ -155,6 +155,7 @@ func Collect(g *graph.Graph, outputs []any) (check.Orientation, map[graph.Edge]i
 		if !ok {
 			return nil, nil, fmt.Errorf("forest: vertex %d output %T, want Output", v, outputs[v])
 		}
+		//lint:ignore detorder any violating edge is a valid error witness; the success path writes one map entry per edge
 		for head, label := range out.Labels {
 			if !g.HasEdge(v, int(head)) {
 				return nil, nil, fmt.Errorf("forest: vertex %d labeled non-edge to %d", v, head)
