@@ -17,7 +17,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +37,7 @@ func main() {
 		exp       = flag.String("exp", "all", "experiment id, or 'all'")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		sizes     = flag.String("sizes", "", "comma-separated graph sizes (default per experiment)")
+		nFlag     = flag.Int("n", 0, "single graph size; shorthand for -sizes n")
 		seeds     = flag.String("seeds", "", "comma-separated seeds (default 1,2,3)")
 		quick     = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		jsonF     = flag.Bool("json", false, "machine-readable JSON output (supported by -exp backends)")
@@ -65,6 +65,12 @@ func main() {
 	cfg := experiments.Config{W: os.Stdout, Quick: *quick, JSON: *jsonF, Workers: *workers}
 	if cfg.Sizes, err = parseInts(*sizes); err != nil {
 		fatal(err)
+	}
+	if *nFlag > 0 {
+		if len(cfg.Sizes) > 0 {
+			fatal(fmt.Errorf("-n and -sizes are mutually exclusive"))
+		}
+		cfg.Sizes = []int{*nFlag}
 	}
 	var seeds64 []int
 	if seeds64, err = parseInts(*seeds); err != nil {
@@ -114,20 +120,16 @@ func main() {
 // against the baseline file, failing the process when any point regressed
 // past the threshold.
 func runCompare(cfg experiments.Config, path string, thresholdPct float64) error {
-	data, err := os.ReadFile(path)
+	base, err := experiments.LoadBench(path)
 	if err != nil {
 		return err
-	}
-	var base experiments.BackendBench
-	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("baseline %s does not parse: %w", path, err)
 	}
 	cfg.JSON = false
 	fresh, err := experiments.RunBackendBench(cfg)
 	if err != nil {
 		return err
 	}
-	rep := experiments.CompareBenches(&base, fresh, thresholdPct)
+	rep := experiments.CompareBenches(base, fresh, thresholdPct)
 	rep.Write(os.Stdout)
 	if rep.Regressions > 0 {
 		return fmt.Errorf("%d benchmark points regressed past %+.0f%%", rep.Regressions, thresholdPct)

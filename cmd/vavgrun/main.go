@@ -38,6 +38,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "run seed")
 		backend = flag.String("backend", "", "engine backend: goroutines|pool|step|auto (default auto)")
 		decay   = flag.Bool("decay", false, "print the active-vertex decay")
+		scen    = flag.String("scenario", "", "adversarial scenario, e.g. 'drop=0.25,crashfrac=0.05,crashround=3' or a JSON spec")
 		sweep   = flag.String("sweep", "", "comma-separated sizes: run a size sweep instead of a single run")
 		format  = flag.String("format", "csv", "sweep output format: csv|json")
 		workers = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS); never changes results")
@@ -67,8 +68,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var sc *vavg.Scenario
+	if *scen != "" {
+		if sc, err = vavg.ParseScenario(*scen); err != nil {
+			fatal(err)
+		}
+	}
 	if *sweep != "" {
-		if err := runSweep(alg, *family, *sweep, *format, *a, *eps, *k, *c, *seed, *backend, *workers); err != nil {
+		if err := runSweep(alg, *family, *sweep, *format, *a, *eps, *k, *c, *seed, *backend, *workers, sc); err != nil {
 			fatal(err)
 		}
 		return
@@ -78,7 +85,7 @@ func main() {
 		fatal(err)
 	}
 	rep, err := alg.Run(g, vavg.Params{
-		Arboricity: *a, Eps: *eps, K: *k, C: *c, Seed: *seed, Backend: *backend,
+		Arboricity: *a, Eps: *eps, K: *k, C: *c, Seed: *seed, Backend: *backend, Scenario: sc,
 	})
 	if err != nil {
 		fatal(err)
@@ -99,7 +106,24 @@ func main() {
 	if rep.Size >= 0 {
 		fmt.Printf("solution size: %d\n", rep.Size)
 	}
-	fmt.Println("validation:    ok")
+	if sc == nil {
+		fmt.Println("validation:    ok")
+	} else {
+		// Under a scenario, hard validation is replaced by the degradation
+		// audit: report what the adversary cost instead of asserting a
+		// perfect output.
+		fmt.Printf("scenario:      %s\n", sc.String())
+		conv := "yes"
+		if !rep.Converged {
+			conv = "no (round budget exhausted)"
+		}
+		fmt.Printf("converged:     %s\n", conv)
+		fmt.Printf("dropped:       %d deliveries   lost to crash: %d\n", rep.Dropped, rep.LostToCrash)
+		fmt.Printf("crashed:       %d forever   restarts: %d\n", rep.CrashedForever, rep.Restarts)
+		if rep.ResidualConflicts >= 0 {
+			fmt.Printf("residual conflicts: %d\n", rep.ResidualConflicts)
+		}
+	}
 
 	if *decay {
 		fmt.Println("\nactive vertices per round:")
@@ -112,7 +136,7 @@ func main() {
 
 // runSweep measures the algorithm across a size sweep and emits CSV or
 // JSON suitable for plotting.
-func runSweep(alg vavg.Algorithm, family, sizesArg, format string, a int, eps float64, k, c int, seed int64, backend string, workers int) error {
+func runSweep(alg vavg.Algorithm, family, sizesArg, format string, a int, eps float64, k, c int, seed int64, backend string, workers int, sc *vavg.Scenario) error {
 	var sizes []int
 	for _, part := range strings.Split(sizesArg, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
@@ -128,7 +152,7 @@ func runSweep(alg vavg.Algorithm, family, sizesArg, format string, a int, eps fl
 		}
 		return g
 	})
-	res, err := vavg.Sweep(alg, gen, sizes, nil, vavg.Params{Arboricity: a, Eps: eps, K: k, C: c, Backend: backend, SweepWorkers: workers})
+	res, err := vavg.Sweep(alg, gen, sizes, nil, vavg.Params{Arboricity: a, Eps: eps, K: k, C: c, Backend: backend, SweepWorkers: workers, Scenario: sc})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,92 @@
+package check
+
+import "vavg/internal/graph"
+
+// The conflict counters below are the degraded-run companions of the
+// validators: where a validator rejects the first violated constraint, a
+// counter tallies every violation and tolerates unassigned outputs
+// (crashed vertices, non-converged runs). Adversarial-scenario runs
+// report these tallies as data — residual conflicts are the measurement,
+// not an error.
+
+// ColoringConflicts counts the violated constraints of a partial vertex
+// coloring: monochromatic edges whose endpoints are both assigned, plus
+// one per unassigned vertex (color < 0).
+func ColoringConflicts(g *graph.Graph, colors []int) int {
+	conflicts := 0
+	for u := 0; u < g.N(); u++ {
+		if colors[u] < 0 {
+			conflicts++
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u && colors[v] >= 0 && colors[u] == colors[v] {
+				conflicts++
+			}
+		}
+	}
+	return conflicts
+}
+
+// MISConflicts counts the violated constraints of a partial independent
+// set: edges with both assigned endpoints in the set (independence), plus
+// assigned out-vertices with no assigned in-neighbor (maximality), plus
+// one per unassigned vertex.
+func MISConflicts(g *graph.Graph, in []bool, assigned []bool) int {
+	conflicts := 0
+	for u := 0; u < g.N(); u++ {
+		if !assigned[u] {
+			conflicts++
+			continue
+		}
+		if in[u] {
+			for _, v := range g.Neighbors(u) {
+				if int(v) > u && assigned[v] && in[v] {
+					conflicts++
+				}
+			}
+			continue
+		}
+		covered := false
+		for _, v := range g.Neighbors(u) {
+			if assigned[v] && in[v] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			conflicts++
+		}
+	}
+	return conflicts
+}
+
+// MatchingConflicts counts the violated constraints of a partial matching
+// given per-vertex partner IDs (-1 for unmatched): asymmetric or
+// non-adjacent partner claims, plus unmatched pairs of assigned adjacent
+// vertices (maximality), plus one per unassigned vertex.
+func MatchingConflicts(g *graph.Graph, match []int32, assigned []bool) int {
+	conflicts := 0
+	n := g.N()
+	for u := 0; u < n; u++ {
+		if !assigned[u] {
+			conflicts++
+			continue
+		}
+		w := match[u]
+		if w >= 0 {
+			if int(w) >= n || g.NeighborIndex(u, int(w)) < 0 {
+				conflicts++
+			} else if assigned[w] && match[w] != int32(u) {
+				conflicts++
+			}
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u && assigned[v] && match[v] < 0 {
+				conflicts++
+			}
+		}
+	}
+	return conflicts
+}

@@ -58,7 +58,17 @@ type (
 	// Spec bundles an algorithm's blocking form with its optional step
 	// form for RunSpec.
 	Spec = exec.Spec
+	// Adversary is a compiled, immutable fault schedule: per-delivery
+	// message drops plus per-vertex crash/restart windows, all pure
+	// functions of immutable inputs so faulty runs stay byte-reproducible
+	// on every backend. Build one with internal/scenario and normalize it
+	// for the run's graph before use.
+	Adversary = exec.Adversary
 )
+
+// Mix64 is the splitmix64 finalizer the adversary layer uses as its
+// counter-based PRNG core, re-exported for the scenario compiler.
+func Mix64(x uint64) uint64 { return exec.Mix64(x) }
 
 // Continue ends a step turn; next runs in the following round with the
 // messages delivered this round (the step form of API.Next).
@@ -91,6 +101,10 @@ type Options struct {
 	// for an algorithm without a step form falls back to the automatic
 	// goroutines/pool choice.
 	Backend string
+	// Adv is the compiled fault schedule, or nil for the fault-free run.
+	// A nil adversary costs the hot path one pointer test per flush and
+	// zero allocations; a non-nil one must already be normalized for g.
+	Adv *Adversary
 }
 
 // Run executes prog on every vertex of g until all vertices terminate,
@@ -100,7 +114,7 @@ func Run(g *graph.Graph, prog Program, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return b.Run(g, prog, exec.Config{Seed: opts.Seed, MaxRounds: opts.MaxRounds})
+	return b.Run(g, prog, exec.Config{Seed: opts.Seed, MaxRounds: opts.MaxRounds, Adv: opts.Adv})
 }
 
 // RunSpec executes spec on the backend selected by opts.Backend,
@@ -109,7 +123,7 @@ func Run(g *graph.Graph, prog Program, opts Options) (*Result, error) {
 // execution-strategy choice only: equal seeds produce byte-identical
 // Results for both forms on every backend.
 func RunSpec(g *graph.Graph, spec Spec, opts Options) (*Result, error) {
-	return exec.RunSpec(g, spec, opts.Backend, exec.Config{Seed: opts.Seed, MaxRounds: opts.MaxRounds})
+	return exec.RunSpec(g, spec, opts.Backend, exec.Config{Seed: opts.Seed, MaxRounds: opts.MaxRounds, Adv: opts.Adv})
 }
 
 // Backends lists the registered execution backends.

@@ -79,6 +79,11 @@ type Config struct {
 	// MaxRounds aborts the run if the global round count exceeds it,
 	// guarding against livelocked programs. 0 means 4*(n + 64*log2(n) + 64).
 	MaxRounds int
+	// Adv is the compiled fault schedule, or nil for the fault-free run.
+	// A nil adversary compiles to the existing zero-allocation hot path
+	// (a single pointer test per flush); a non-nil one must have been
+	// normalized for the run's graph (see Adversary.Normalize).
+	Adv *Adversary
 }
 
 func (c Config) maxRounds(n int) int {
@@ -112,6 +117,26 @@ type Result struct {
 	ActivePerRound []int
 	// Messages is the total number of point-to-point messages delivered.
 	Messages int64
+
+	// The remaining fields are degradation accounting, filled only when
+	// the run carried an Adversary (all zero / nil otherwise).
+
+	// Dropped counts deliveries removed by the adversary's random-loss
+	// process; Messages counts only deliveries that arrived.
+	Dropped int64
+	// LostToCrash counts deliveries killed because an endpoint was
+	// inside its crash outage.
+	LostToCrash int64
+	// Crashed[v] reports that v was crashed and never restarted: its
+	// Output is nil and Rounds[v] is its crash round. Nil without an
+	// adversary.
+	Crashed []bool
+	// CrashedForever and Restarts count the vertices that died for good
+	// and the ones that rebooted.
+	CrashedForever int
+	// Restarts is the number of vertices that crashed and were rebooted
+	// from a fresh init.
+	Restarts int
 }
 
 // VertexAverage returns RoundSum / n, the paper's vertex-averaged
@@ -329,6 +354,17 @@ type core struct {
 	panics   []any
 	aborted  bool
 	seed     int64
+
+	// Adversary state, nil on fault-free runs: the schedule itself plus
+	// the per-vertex degradation counters. crashed is caller-owned (the
+	// Result aliases it); the counters are summed into the Result at
+	// finish. These allocate only when an adversary is present, keeping
+	// the nil-scenario path on the recycled-scratch fast path.
+	adv       *Adversary
+	crashed   []bool
+	gens      []int32
+	dropCount []int64
+	lostCount []int64
 }
 
 func newCore(g *graph.Graph, cfg Config) *core {
@@ -353,6 +389,13 @@ func newCore(g *graph.Graph, cfg Config) *core {
 		seed:     cfg.Seed,
 	}
 	c.sendBuf, c.recvBuf = s.bufA, s.bufB
+	if cfg.Adv != nil {
+		c.adv = cfg.Adv
+		c.crashed = make([]bool, n)
+		c.gens = make([]int32, n)
+		c.dropCount = make([]int64, n)
+		c.lostCount = make([]int64, n)
+	}
 	return c
 }
 
@@ -388,7 +431,7 @@ func (c *core) finish(activePerRound []int, maxRounds int) (*Result, error) {
 			return nil, fmt.Errorf("engine: vertex %d panicked: %v", v, p)
 		}
 	}
-	if c.aborted {
+	if c.aborted && c.adv == nil {
 		return nil, fmt.Errorf("%w (%d rounds)", ErrMaxRounds, maxRounds)
 	}
 	res := &Result{
@@ -408,6 +451,25 @@ func (c *core) finish(activePerRound []int, maxRounds int) (*Result, error) {
 		}
 		res.RoundSum += int64(c.rounds[v])
 		res.Messages += c.msgCount[v]
+	}
+	if c.adv != nil {
+		res.Crashed = c.crashed
+		for v := 0; v < n; v++ {
+			res.Dropped += c.dropCount[v]
+			res.LostToCrash += c.lostCount[v]
+			if c.crashed[v] {
+				res.CrashedForever++
+			}
+			if c.gens[v] > 0 {
+				res.Restarts++
+			}
+		}
+	}
+	if c.aborted {
+		// Under an adversary a livelocked run is a data point, not a
+		// failure: return the partial accounting alongside the error so
+		// degradation experiments can report DNF rows.
+		return res, fmt.Errorf("%w (%d rounds)", ErrMaxRounds, maxRounds)
 	}
 	return res, nil
 }
@@ -436,12 +498,22 @@ type API struct {
 	bcast bool    // a write-through broadcast was already counted this round
 	inbox []Msg   // receive buffer reused across Next/Idle calls
 	round int32
+	gen   int32 // PRNG incarnation: 0 normally, >0 after adversary restarts
 }
 
 // runVertex executes prog on vertex v, then performs the final counted
 // round: broadcast the output once and terminate completely. done signals
 // the backend's barrier for this vertex.
 func runVertex(rt runtime, c *core, v int32, prog Program, done func()) {
+	runVertexFrom(rt, c, v, prog, done, 0, 0)
+}
+
+// runVertexFrom is runVertex with an explicit starting point: startRound
+// completed rounds already on the clock and PRNG incarnation gen. The
+// (0, 0) case is the normal spawn; adversary restarts reboot a crashed
+// vertex with startRound = the round before its restart round, so its
+// fresh incarnation executes its first round exactly at RestartAt.
+func runVertexFrom(rt runtime, c *core, v int32, prog Program, done func(), startRound, gen int32) {
 	lo, hi := c.g.Off[v], c.g.Off[v+1]
 	api := &API{
 		core:  c,
@@ -449,11 +521,15 @@ func runVertex(rt runtime, c *core, v int32, prog Program, done func()) {
 		v:     v,
 		out:   c.scratch.outbox[lo:hi:hi],
 		dirty: c.scratch.dirty[lo:lo:hi],
+		round: startRound,
+		gen:   gen,
 	}
 	defer func() {
 		if p := recover(); p != nil {
 			api.releaseOutbox()
-			c.panics[v] = p
+			if _, crash := p.(crashSentinel); !crash {
+				c.panics[v] = p
+			}
 			c.done[v] = true
 			done()
 		}
@@ -499,7 +575,15 @@ func (a *API) NeighborIndex(id int32) int {
 // and peak memory.
 func (a *API) Rand() *rand.Rand {
 	if a.rng == nil {
-		a.rng = rand.New(rand.NewSource(a.core.seed ^ (int64(a.v)+1)*0x9e3779b97f4a7c))
+		s := a.core.seed ^ (int64(a.v)+1)*0x9e3779b97f4a7c
+		if a.gen > 0 {
+			// A restarted incarnation draws a fresh stream — reusing the
+			// pre-crash stream would correlate the reboot with its own past.
+			// Generation 0 leaves the seed untouched so fault-free runs are
+			// byte-identical to runs built before restarts existed.
+			s ^= (int64(a.gen) + 1) * 0x632be59bd9b4e019
+		}
+		a.rng = rand.New(rand.NewSource(s))
 	}
 	return a.rng
 }
@@ -602,6 +686,10 @@ func (a *API) BroadcastInt(x int64) {
 //
 //vavg:hotpath
 func (a *API) writeThrough(c cell) {
+	if a.core.adv != nil {
+		a.writeThroughAdv(c)
+		return
+	}
 	for _, k := range a.dirty {
 		a.out[k] = cell{}
 	}
@@ -631,6 +719,10 @@ func (a *API) writeThrough(c cell) {
 //
 //vavg:hotpath
 func (a *API) flush() {
+	if a.core.adv != nil {
+		a.flushAdv()
+		return
+	}
 	bcast := a.bcast
 	a.bcast = false
 	if len(a.dirty) == 0 {
@@ -649,6 +741,92 @@ func (a *API) flush() {
 	}
 	if !bcast {
 		a.core.msgCount[a.v] += int64(len(a.dirty))
+	}
+	a.dirty = a.dirty[:0]
+}
+
+// writeThroughAdv is writeThrough under an adversary: every slot write is
+// filtered by the crash windows and the drop hash. A send staged while
+// executing round w (a.round == w-1) is delivered in round w+1, so the
+// delivery round is a.round+2. Degradation counters follow the Messages
+// rule — only the first broadcast of a round counts; later overwrites of
+// the same slots are the same (already-decided, already-counted) message.
+func (a *API) writeThroughAdv(c cell) {
+	for _, k := range a.dirty {
+		a.out[k] = cell{}
+	}
+	a.dirty = a.dirty[:0]
+	adv := a.core.adv
+	g := a.core.g
+	lo, hi := g.Off[a.v], g.Off[a.v+1]
+	dr := a.round + 2
+	count := !a.bcast
+	a.bcast = true
+	senderDown := adv.inWindow(a.v, dr)
+	delivered := int64(0)
+	for p := lo; p < hi; p++ {
+		switch {
+		case senderDown || adv.inWindow(g.Adj[p], dr):
+			if count {
+				a.core.lostCount[a.v]++
+			}
+		case adv.dropped(g.Rev[p], dr):
+			if count {
+				a.core.dropCount[a.v]++
+			}
+		default:
+			a.core.sendBuf[g.Rev[p]] = c
+			if count {
+				a.rt.notifySend(g.Adj[p])
+				delivered++
+			}
+		}
+	}
+	if count {
+		a.core.msgCount[a.v] += delivered
+	}
+}
+
+// flushAdv is flush under an adversary, with writeThroughAdv's filtering
+// and accounting rules. The drop verdict is a pure hash of (slot,
+// delivery round), so a staged send overwriting an earlier broadcast's
+// slot reaches the same decision the broadcast did — the slab never holds
+// a delivery the adversary removed.
+func (a *API) flushAdv() {
+	bcast := a.bcast
+	a.bcast = false
+	if len(a.dirty) == 0 {
+		return
+	}
+	sortInt32(a.dirty)
+	adv := a.core.adv
+	g := a.core.g
+	base := g.Off[a.v]
+	dr := a.round + 2
+	senderDown := adv.inWindow(a.v, dr)
+	delivered := int64(0)
+	for _, k := range a.dirty {
+		p := base + k
+		switch {
+		case senderDown || adv.inWindow(g.Adj[p], dr):
+			if !bcast {
+				a.core.lostCount[a.v]++
+			}
+		case adv.dropped(g.Rev[p], dr):
+			if !bcast {
+				a.core.dropCount[a.v]++
+			}
+		default:
+			a.core.sendBuf[g.Rev[p]] = a.out[k]
+			if !bcast {
+				a.rt.notifySend(g.Adj[p])
+				delivered++
+			}
+		}
+		a.out[k] = cell{}
+	}
+	if !bcast {
+		a.core.msgCount[a.v] += delivered
 	}
 	a.dirty = a.dirty[:0]
 }

@@ -31,6 +31,14 @@ func (rt *goRuntime) next(a *API, buf []Msg) []Msg {
 	if rt.c.aborted {
 		panic(abortSentinel{})
 	}
+	if adv := rt.c.adv; adv != nil && adv.crashNow(a.v, a.round+1) {
+		// The vertex was woken for its crash round: it counts as active in
+		// it (matching ActivePerRound, which already includes this wake) but
+		// executes nothing. The sentinel unwinds to runVertexFrom's recover.
+		rt.c.rounds[a.v] = a.round + 1
+		rt.c.crashed[a.v] = true
+		panic(crashSentinel{})
+	}
 	return a.collect(buf)
 }
 
@@ -59,6 +67,10 @@ func (goroutinesBackend) Run(g *graph.Graph, prog Program, cfg Config) (*Result,
 	for v := range active {
 		active[v] = int32(v)
 	}
+	var restarts eventCursor
+	if c.adv != nil {
+		restarts = eventCursor{events: c.adv.restarts}
+	}
 	var activePerRound []int
 	round := 0
 	for {
@@ -74,7 +86,7 @@ func (goroutinesBackend) Run(g *graph.Graph, prog Program, cfg Config) (*Result,
 			}
 		}
 		active = live
-		if len(active) == 0 {
+		if len(active) == 0 && (c.aborted || !restarts.pending()) {
 			break
 		}
 		if round >= maxRounds && !c.aborted {
@@ -84,6 +96,28 @@ func (goroutinesBackend) Run(g *graph.Graph, prog Program, cfg Config) (*Result,
 		rt.wg.Add(len(active))
 		for _, v := range active {
 			rt.wake[v] <- struct{}{}
+		}
+		// Reboot vertices whose restart round is the one just woken: the
+		// fresh incarnation is spawned after the buffer swap so its first
+		// flush writes the live send buffer, and it joins the active list so
+		// the next ActivePerRound entry counts it. An aborted run reboots
+		// nobody (matching the other backends' degradation accounting).
+		if c.aborted {
+			continue
+		}
+		for _, e := range restarts.take(int32(round + 1)) {
+			v := e.v
+			if !c.crashed[v] {
+				// The vertex terminated before its scheduled crash round, so
+				// the crash never happened and there is nothing to reboot.
+				continue
+			}
+			c.done[v] = false
+			c.crashed[v] = false
+			c.gens[v]++
+			rt.wg.Add(1)
+			active = append(active, v)
+			go runVertexFrom(rt, c, v, prog, rt.wg.Done, int32(round), c.gens[v])
 		}
 	}
 	return c.finish(activePerRound, maxRounds)

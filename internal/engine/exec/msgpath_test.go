@@ -252,12 +252,28 @@ func TestSteadyStateAllocsIntegrated(t *testing.T) {
 				name, extra, long, short)
 		}
 	}
+	// A crash-free drop adversary must not disturb the steady state
+	// either: drop decisions are pure hashes and loss accounting is plain
+	// counters, so the adversary-attached rounds run allocation-free too.
+	// The nil-adversary runs below remain the gate for the fault-free hot
+	// path the scenario layer promises not to touch.
+	dropAdv := &Adversary{Seed: 7, DropBar: ^uint64(0) / 2}
+	if err := dropAdv.Normalize(g.N()); err != nil {
+		t.Fatal(err)
+	}
 	for _, name := range Names() {
 		b, _ := Lookup(name)
 		check(name, func(rounds int) uint64 {
 			before := mallocs()
 			if _, err := b.Run(g, prog(rounds), Config{Seed: 1, MaxRounds: 1 << 20}); err != nil {
 				t.Fatalf("%s: %v", name, err)
+			}
+			return mallocs() - before
+		})
+		check(name+"(drop adversary)", func(rounds int) uint64 {
+			before := mallocs()
+			if _, err := b.Run(g, prog(rounds), Config{Seed: 1, MaxRounds: 1 << 20, Adv: dropAdv}); err != nil {
+				t.Fatalf("%s with adversary: %v", name, err)
 			}
 			return mallocs() - before
 		})

@@ -84,12 +84,25 @@ type shard struct {
 	msgRound []int32
 	// live counts non-terminated vertices in the shard.
 	live int
+	// crashes walks this shard's slice of the adversary's crash schedule
+	// (empty on fault-free runs). Runnable victims self-crash at their
+	// normal wake; the cursor exists to force-wake idle-parked victims,
+	// which would otherwise sleep through their crash round.
+	crashes eventCursor
+	// spawned holds vertices rebooted by the coordinator this round; the
+	// worker folds them into the runnable set after the barrier, exactly
+	// like the spawn round's implicit wake-set.
+	spawned []int32
 }
 
 type poolRuntime struct {
 	c         *core
 	shards    []*shard
 	shardSize int32
+	// restarts walks the adversary's restart schedule (empty on fault-free
+	// runs); the coordinator consumes it, so reboots land in the same
+	// round on every backend regardless of sharding.
+	restarts eventCursor
 	// round is the current global round. Written by the coordinator while
 	// every vertex is parked, read by vertices during their turns (the
 	// wake channels order the accesses).
@@ -135,6 +148,11 @@ func (rt *poolRuntime) next(a *API, buf []Msg) []Msg {
 	if rt.c.aborted {
 		panic(abortSentinel{})
 	}
+	if adv := rt.c.adv; adv != nil && adv.crashNow(a.v, rt.round) {
+		rt.c.rounds[a.v] = rt.round
+		rt.c.crashed[a.v] = true
+		panic(crashSentinel{})
+	}
 	return a.collect(buf)
 }
 
@@ -168,6 +186,13 @@ func (rt *poolRuntime) idle(a *API, k int, buf []Msg) []Msg {
 			panic(abortSentinel{})
 		}
 		w := rt.round
+		if adv := rt.c.adv; adv != nil && adv.crashNow(a.v, w) {
+			// Force-woken by the shard's crash cursor (or woken anyway) in
+			// the crash round: the window ends here, mid-flight.
+			rt.c.rounds[a.v] = w
+			rt.c.crashed[a.v] = true
+			panic(crashSentinel{})
+		}
 		a.round = w - 1
 		rt.c.rounds[a.v] = a.round
 		all = a.collect(all)
@@ -202,6 +227,22 @@ func (s *shard) runRound() {
 			}
 			s.timers = s.timers[:0]
 		} else {
+			// Crash events first: an idle-parked victim must be force-woken
+			// so it unwinds in exactly its crash round (runnable victims are
+			// woken below anyway and self-crash at the wake-site check).
+			// Clearing idleExp here keeps the stale timer entry and any
+			// pending message wake from waking the vertex a second time.
+			if rt.c.adv != nil {
+				for _, e := range s.crashes.take(w) {
+					li := e.v - s.lo
+					if rt.c.done[e.v] || s.idleExp[li] == 0 {
+						continue
+					}
+					s.idleExp[li] = 0
+					s.runnable = append(s.runnable, e.v)
+					ws = append(ws, e.v)
+				}
+			}
 			// Expired idle windows rejoin the runnable set for their final
 			// collect.
 			for len(s.timers) > 0 && s.timers[0].round <= w {
@@ -253,6 +294,23 @@ func (s *shard) runRound() {
 		nr = append(nr, v)
 	}
 	s.runnable = nr
+	// Fold in vertices the coordinator rebooted this round: they ran their
+	// first round unscheduled (pre-counted in wg, like the spawn round) and
+	// join the runnable set only now, so they are never woken while already
+	// running.
+	if len(s.spawned) > 0 {
+		for _, v := range s.spawned {
+			if rt.c.done[v] {
+				s.live--
+				continue
+			}
+			if s.idleExp[v-s.lo] != 0 {
+				continue
+			}
+			s.runnable = append(s.runnable, v)
+		}
+		s.spawned = s.spawned[:0]
+	}
 }
 
 // nextEventRound returns the earliest upcoming round in which any vertex
@@ -273,6 +331,12 @@ func (rt *poolRuntime) nextEventRound(cur int) int {
 		if len(s.timers) > 0 && int(s.timers[0].round) < next {
 			next = int(s.timers[0].round)
 		}
+		if r := s.crashes.nextRound(); r < next {
+			next = r
+		}
+	}
+	if r := rt.restarts.nextRound(); r < next {
+		next = r
 	}
 	if next == math.MaxInt {
 		// Live vertices but no scheduled event: livelock; advance round by
@@ -319,6 +383,12 @@ func (poolBackend) Run(g *graph.Graph, prog Program, cfg Config) (*Result, error
 		}
 		rt.shards = append(rt.shards, s)
 	}
+	if c.adv != nil {
+		rt.restarts = eventCursor{events: c.adv.restarts}
+		for _, s := range rt.shards {
+			s.crashes = eventCursor{events: shardEvents(c.adv.crashes, s.lo, s.hi)}
+		}
+	}
 
 	// Round 1 is the spawn round: every vertex goroutine starts executing
 	// immediately, pre-counted in its shard's barrier. Vertices that finish
@@ -359,12 +429,14 @@ func (poolBackend) Run(g *graph.Graph, prog Program, cfg Config) (*Result, error
 		for _, s := range rt.shards {
 			live += s.live
 		}
-		if live == 0 {
+		if live == 0 && (c.aborted || !rt.restarts.pending()) {
 			break
 		}
 		// Fast-forward rounds in which every live vertex is idle-parked
 		// with no deliverable message: they all pay the rounds (the
 		// paper's waiting-is-active accounting) but cost O(shards) here.
+		// nextEventRound includes the adversary's schedule, so no crash or
+		// restart round is ever skipped.
 		if !c.aborted {
 			next := rt.nextEventRound(round)
 			for round+1 < next && !c.aborted {
@@ -376,9 +448,33 @@ func (poolBackend) Run(g *graph.Graph, prog Program, cfg Config) (*Result, error
 			}
 		}
 		round++
-		activePerRound = append(activePerRound, live)
 		rt.round = int32(round)
 		c.swap()
+		// Reboot vertices whose restart round is the new round: the fresh
+		// incarnation starts immediately (pre-counted in its shard's
+		// barrier, like the spawn round) strictly after the buffer swap, so
+		// its first flush writes the live send buffer. It counts in this
+		// round's ActivePerRound entry, matching the goroutines backend.
+		spawned := 0
+		if c.adv != nil && !c.aborted {
+			for _, e := range rt.restarts.take(int32(round)) {
+				v := e.v
+				if !c.crashed[v] {
+					// Terminated before its scheduled crash: nothing to reboot.
+					continue
+				}
+				s := rt.shardOf(v)
+				c.done[v] = false
+				c.crashed[v] = false
+				c.gens[v]++
+				s.live++
+				s.wg.Add(1)
+				s.spawned = append(s.spawned, v)
+				spawned++
+				go runVertexFrom(rt, c, v, prog, s.wg.Done, int32(round-1), c.gens[v])
+			}
+		}
+		activePerRound = append(activePerRound, live+spawned)
 	}
 	for _, s := range rt.shards {
 		close(s.start)

@@ -142,6 +142,10 @@ type stepShard struct {
 	live int
 	// bootProg builds each vertex's machine during the round-1 pass.
 	bootProg StepProgram
+	// crashes walks this shard's slice of the adversary's crash schedule
+	// (empty on fault-free runs); victims are retired at the top of their
+	// crash round, before any turn is taken.
+	crashes eventCursor
 }
 
 type stepRuntime struct {
@@ -151,6 +155,9 @@ type stepRuntime struct {
 	// round is the current global round, written by the coordinator at the
 	// barrier and read by senders during their turns.
 	round int32
+	// restarts walks the adversary's restart schedule (empty on fault-free
+	// runs); the coordinator consumes it between rounds.
+	restarts eventCursor
 }
 
 func (rt *stepRuntime) shardOf(v int32) *stepShard { return rt.shards[v/rt.shardSize] }
@@ -223,6 +230,28 @@ func (rt *stepRuntime) trap(a *API, ok *bool) {
 // while executing round w.
 func (s *stepShard) runRound(rt *stepRuntime, apis []API, w int32) {
 	c := rt.c
+	// Crash events first: a victim is retired at the top of its crash
+	// round, before any turn is taken — it counts as live in this round
+	// (ActivePerRound already includes it) but executes nothing, exactly
+	// like the blocking backends' wake-site unwinding. Clearing wakeAt
+	// invalidates its stale timer entry and makes the pending drain below
+	// skip it; clearing fns marks the slot for a fresh boot on restart.
+	if c.adv != nil {
+		for _, e := range s.crashes.take(w) {
+			v := e.v
+			li := v - s.lo
+			if c.done[v] {
+				continue
+			}
+			c.done[v] = true
+			c.crashed[v] = true
+			c.rounds[v] = w
+			s.wakeAt[li] = 0
+			s.fns[li] = nil
+			apis[v].inbox = apis[v].inbox[:0]
+			s.live--
+		}
+	}
 	// Wake sleepers whose window ends this round; their turn collects the
 	// final round of the window below.
 	s.woken = s.woken[:0]
@@ -291,12 +320,19 @@ func (s *stepShard) runRound(rt *stepRuntime, apis []API, w int32) {
 	// with the survivors.
 	s.active = s.active[:0]
 	for _, v := range s.runBuf {
+		if c.done[v] {
+			// Crashed at the top of this round after making it into the
+			// run order; its turn is forfeit.
+			continue
+		}
 		li := v - s.lo
 		a := &apis[v]
-		a.round = w - 1
 		var st Step
 		var ok bool
-		if w == 1 {
+		if s.fns[li] == nil {
+			// No machine yet: the round-1 boot, or an adversary restart's
+			// fresh incarnation (which must re-seed its PRNG stream, hence
+			// the generation stamp after the reset).
 			g := c.g
 			plo, phi := g.Off[v], g.Off[v+1]
 			*a = API{
@@ -305,9 +341,14 @@ func (s *stepShard) runRound(rt *stepRuntime, apis []API, w int32) {
 				v:     v,
 				out:   c.scratch.outbox[plo:phi:phi],
 				dirty: c.scratch.dirty[plo:plo:phi],
+				round: w - 1,
+			}
+			if c.gens != nil {
+				a.gen = c.gens[v]
 			}
 			st, ok = rt.boot(a, s.bootProg)
 		} else {
+			a.round = w - 1
 			st, ok = rt.turn(a, s.fns[li])
 		}
 		if !ok {
@@ -366,6 +407,12 @@ func (rt *stepRuntime) nextEventRound(cur int) int {
 		if len(s.timers) > 0 && int(s.timers[0].round) < next {
 			next = int(s.timers[0].round)
 		}
+		if r := s.crashes.nextRound(); r < next {
+			next = r
+		}
+	}
+	if r := rt.restarts.nextRound(); r < next {
+		next = r
 	}
 	if next == math.MaxInt {
 		// Live vertices but no scheduled turn: cannot happen for
@@ -415,6 +462,12 @@ func (stepBackend) RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Resul
 		}
 		rt.shards = append(rt.shards, s)
 	}
+	if c.adv != nil {
+		rt.restarts = eventCursor{events: c.adv.restarts}
+		for _, s := range rt.shards {
+			s.crashes = eventCursor{events: shardEvents(c.adv.crashes, s.lo, s.hi)}
+		}
+	}
 
 	// Multi-shard runs use one persistent worker per shard released once
 	// per round; a single shard runs inline with no goroutines at all.
@@ -455,7 +508,7 @@ func (stepBackend) RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Resul
 		for _, s := range rt.shards {
 			live += s.live
 		}
-		if live == 0 {
+		if live == 0 && !rt.restarts.pending() {
 			break
 		}
 		if round >= maxRounds {
@@ -465,6 +518,8 @@ func (stepBackend) RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Resul
 		// Fast-forward rounds in which every live vertex sleeps with no
 		// deliverable message: they all pay the rounds (the paper's
 		// waiting-is-active accounting) at O(shards) cost here.
+		// nextEventRound includes the adversary's schedule, so no crash or
+		// restart round is ever skipped.
 		next := rt.nextEventRound(round)
 		for round+1 < next && !c.aborted {
 			round++
@@ -477,9 +532,40 @@ func (stepBackend) RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Resul
 			break
 		}
 		round++
-		activePerRound = append(activePerRound, live)
 		rt.round = int32(round)
 		c.swap()
+		// Reboot vertices whose restart round is the new round: fns was
+		// cleared at crash time, so their next turn boots a fresh
+		// incarnation. They join the active order for this round and count
+		// in its ActivePerRound entry, matching the other backends.
+		spawned := 0
+		if c.adv != nil {
+			for _, e := range rt.restarts.take(int32(round)) {
+				v := e.v
+				if !c.crashed[v] {
+					// Terminated before its scheduled crash: nothing to reboot.
+					continue
+				}
+				s := rt.shardOf(v)
+				c.done[v] = false
+				c.crashed[v] = false
+				c.gens[v]++
+				s.wakeAt[v-s.lo] = 0
+				s.live++
+				s.active = append(s.active, v)
+				spawned++
+			}
+			if spawned > 0 {
+				// The merge pass needs ascending active lists; reboots were
+				// appended out of order.
+				for _, s := range rt.shards {
+					if !slices.IsSorted(s.active) {
+						slices.Sort(s.active)
+					}
+				}
+			}
+		}
+		activePerRound = append(activePerRound, live+spawned)
 	}
 	return c.finish(activePerRound, maxRounds)
 }

@@ -46,6 +46,11 @@ type BackendBench struct {
 	GoMaxProcs int            `json:"gomaxprocs"`
 	NumCPU     int            `json:"numCPU"`
 	Points     []BackendPoint `json:"points"`
+	// Faults is the degradation matrix (see faults.go): every fault
+	// algorithm under every (drop rate, crash fraction) combination.
+	// Absent in baselines generated before the adversarial layer existed;
+	// the compare gate treats the missing column as zero points.
+	Faults []FaultPoint `json:"faults,omitempty"`
 	// SweepTimings compares dispatching the full benchmark matrix through
 	// the sweep scheduler serially (workers=1) and in parallel
 	// (cfg.Workers); the parallel entry's Speedup is serial wall time over
@@ -111,6 +116,9 @@ func RunBackendBench(cfg Config) (*BackendBench, error) {
 	}
 	var err error
 	if bench.SweepTimings, err = measureSweepTimings(cfg); err != nil {
+		return nil, err
+	}
+	if bench.Faults, err = RunFaultsBench(cfg); err != nil {
 		return nil, err
 	}
 	return bench, nil

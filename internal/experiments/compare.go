@@ -1,12 +1,37 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 
 	"vavg/internal/metrics"
 )
+
+// LoadBench reads a committed benchmark baseline (the BENCH_engine.json
+// format). The decode is deliberately tolerant of schema drift in both
+// directions: columns the baseline predates (the faults matrix, new point
+// metrics) default to their zero values, and columns a newer writer added
+// are ignored — so the regression gate keeps working across baselines
+// generated before a metric existed. A file with no benchmark points at
+// all is rejected: it is an empty or foreign JSON document, and diffing
+// against it would silently pass every gate.
+func LoadBench(path string) (*BackendBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bench BackendBench
+	if err := json.Unmarshal(data, &bench); err != nil {
+		return nil, fmt.Errorf("baseline %s does not parse: %w", path, err)
+	}
+	if len(bench.Points) == 0 {
+		return nil, fmt.Errorf("baseline %s holds no benchmark points", path)
+	}
+	return &bench, nil
+}
 
 // BenchDelta compares one (backend, algorithm, family, n) point of a fresh
 // backend benchmark against the same point of a committed baseline.

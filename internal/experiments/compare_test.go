@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -55,5 +57,77 @@ func TestCompareBenches(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestLoadBenchColumnTolerance pins the baseline loader's schema-drift
+// contract: a committed baseline generated before a metric column existed
+// (here: no faults matrix, points without the allocation columns) must
+// still load and diff cleanly against a fresh bench that has them, with
+// the absent columns defaulting to zero rather than failing the gate.
+func TestLoadBenchColumnTolerance(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.json")
+	// An old-format artifact: pre-faults, pre-alloc-columns, plus a field
+	// this reader has never heard of.
+	if err := os.WriteFile(old, []byte(`{
+		"goVersion": "go1.21.0",
+		"gomaxprocs": 1,
+		"numCPU": 1,
+		"retiredField": {"ignored": true},
+		"points": [
+			{"backend": "pool", "algorithm": "partition", "family": "ring", "n": 1024, "wallMs": 10},
+			{"backend": "step", "algorithm": "partition", "family": "ring", "n": 1024, "wallMs": 10}
+		]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBench(old)
+	if err != nil {
+		t.Fatalf("old-format baseline failed to load: %v", err)
+	}
+	if len(base.Points) != 2 || base.Faults != nil {
+		t.Fatalf("loaded baseline = %+v, want 2 points and no faults matrix", base)
+	}
+	if base.Points[0].Allocs != 0 {
+		t.Errorf("missing alloc column should default to zero, got %d", base.Points[0].Allocs)
+	}
+
+	// The column-added fresh bench diffs against it without regressions:
+	// zero-valued baseline columns are growth-from-nothing and never gate
+	// (pctGrowth treats a zero old value as no growth), and the faults
+	// matrix is not part of the point-matching at all.
+	fresh := &BackendBench{
+		Points: []BackendPoint{
+			{Backend: "pool", Algorithm: "partition", Family: "ring", N: 1024, WallMs: 10, Allocs: 4096, PeakBytes: 1 << 20},
+			{Backend: "step", Algorithm: "partition", Family: "ring", N: 1024, WallMs: 11, Allocs: 4096, PeakBytes: 1 << 20},
+		},
+		Faults: []FaultPoint{{Algorithm: "partition", N: 1024, Drop: 0.25, Converged: true}},
+	}
+	rep := CompareBenches(base, fresh, 25)
+	if rep.Regressions != 0 {
+		t.Errorf("column-added bench regressed against old baseline: %+v", rep.Deltas)
+	}
+	if len(rep.Deltas) != 2 || len(rep.Unmatched) != 0 {
+		t.Errorf("got %d deltas / %d unmatched, want 2 / 0", len(rep.Deltas), len(rep.Unmatched))
+	}
+
+	// Degenerate baselines are rejected, not silently diffed against.
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"goVersion": "go1.21.0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBench(empty); err == nil {
+		t.Error("baseline without points should be rejected")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBench(bad); err == nil {
+		t.Error("unparseable baseline should be rejected")
+	}
+	if _, err := LoadBench(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing baseline file should be rejected")
 	}
 }

@@ -101,6 +101,7 @@ func All() []Experiment {
 		{"fig1", "Figure 1", "segment lengths log^(i) n and per-segment schedule", runFig1},
 		{"ring-reference", "§2 context [12]", "leader election: O(log n) avg commitment vs Θ(n) worst; ring 3-coloring: log* both", runRingReference},
 		{"backends", "engine core (DESIGN.md §1)", "all backends agree on every measure; pool and step cut per-round cost", runBackends},
+		{"faults", "fault model (DESIGN.md §8)", "degradation is graceful and deterministic: losses and crashes raise rounds and conflicts smoothly", runFaults},
 		{"ablation-eps", "design choice (§6.1)", "eps trades the palette factor A=(2+eps)a against decay speed", runAblationEps},
 		{"ablation-k", "design choice (§7.5)", "k trades colors against vertex-averaged rounds", runAblationK},
 		{"table1", "Table 1 (summary)", "all vertex-coloring rows at one size", runTable1},

@@ -31,6 +31,25 @@ type Run struct {
 	Size int
 	// ActivePerRound records the decay of active vertices.
 	ActivePerRound []int
+
+	// The remaining fields are degradation accounting for adversarial
+	// (scenario) runs; fault-free runs report Converged true and zeros.
+
+	// Converged reports whether every surviving vertex terminated within
+	// the round budget; false marks a DNF data point.
+	Converged bool
+	// Dropped counts deliveries removed by the random-loss process.
+	Dropped int64
+	// LostToCrash counts deliveries killed by a crashed endpoint.
+	LostToCrash int64
+	// CrashedForever and Restarts count vertices that died for good and
+	// vertices that rebooted.
+	CrashedForever int
+	Restarts       int
+	// ResidualConflicts counts the output constraints still violated after
+	// a degraded run (monochromatic edges, uncovered vertices, ...), or -1
+	// when not measured for the algorithm's output kind.
+	ResidualConflicts int
 }
 
 // FromResult seeds a Run from an engine result; callers fill in the
@@ -50,6 +69,13 @@ func FromResult(alg, g string, n, m, arbor int, seed int64, res *engine.Result) 
 		Colors:         -1,
 		Size:           -1,
 		ActivePerRound: res.ActivePerRound,
+
+		Converged:         true,
+		Dropped:           res.Dropped,
+		LostToCrash:       res.LostToCrash,
+		CrashedForever:    res.CrashedForever,
+		Restarts:          res.Restarts,
+		ResidualConflicts: -1,
 	}
 }
 

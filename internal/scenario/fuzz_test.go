@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioSpec fuzzes the scenario config parser, mirroring the wire
+// codec's FuzzRoundTrip: any input string either fails Parse cleanly or
+// yields a validated Spec whose canonical String form round-trips to an
+// identical Spec. The seed corpus covers the compact grammar, the JSON
+// form, and known-tricky canonicalization cases (crash-round clamps,
+// unordered endpoints).
+func FuzzScenarioSpec(f *testing.F) {
+	f.Add("")
+	f.Add("drop=0.25")
+	f.Add("drop=0.25,crashfrac=0.1,crashround=5,restart=10,seed=7")
+	f.Add("crash=12@5,crash=40@5+10")
+	f.Add("edge=+3-7@4,edge=-7-3@9")
+	f.Add("crash=3@0+1")
+	f.Add("crash=0@1+0")
+	f.Add(`{"drop": 0.5, "crashes": [{"v": 3, "round": 4, "restart": 9}]}`)
+	f.Add(`{"edges": [{"round": 2, "u": 9, "v": 1, "insert": true}]}`)
+	f.Add("drop=1e309")
+	f.Add("seed=18446744073709551615")
+	f.Add(" drop=0.1 , , crashfrac=0.2 ")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(in)
+		if err != nil {
+			return
+		}
+		// A parsed spec is validated: re-validating is a no-op.
+		before := s.Clone()
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse(%q) returned a spec failing Validate: %v", in, err)
+		}
+		if !reflect.DeepEqual(before, s) {
+			t.Fatalf("Parse(%q) returned a non-canonical spec: %+v re-validates to %+v", in, before, s)
+		}
+		// The canonical string form round-trips to the same spec.
+		out := s.String()
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", in, out, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("round trip of %q via %q: %+v != %+v", in, out, s, back)
+		}
+		// The compact form never emits JSON syntax.
+		if strings.HasPrefix(out, "{") {
+			t.Fatalf("String() emitted JSON form %q", out)
+		}
+		// IsZero agrees with the empty rendering only for truly fault-free
+		// specs (modifier-only specs render their modifiers but schedule
+		// nothing).
+		if out == "" && !s.IsZero() {
+			t.Fatalf("non-zero spec %+v rendered empty", s)
+		}
+	})
+}

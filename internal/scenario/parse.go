@@ -1,0 +1,182 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the compact CLI form of a Spec: comma-separated key=value
+// pairs, e.g.
+//
+//	drop=0.25,crashfrac=0.1,crashround=5,restart=10,seed=7
+//	crash=12@5,crash=40@5+10,edge=+3-7@4,edge=-3-7@9
+//
+// Keys: drop (probability), crashfrac (probability), crashround (round),
+// restart (delay in rounds), seed (uint64), crash=V@R[+K] (explicit crash
+// of vertex V at round R, restarting K rounds later if +K is present),
+// edge=+U-V@R / edge=-U-V@R (insert/delete edge {U,V} at round R). A
+// string starting with '{' is parsed as the JSON form instead. The empty
+// string is the zero (fault-free) spec.
+func Parse(in string) (*Spec, error) {
+	s := &Spec{}
+	in = strings.TrimSpace(in)
+	if in == "" {
+		return s, nil
+	}
+	if strings.HasPrefix(in, "{") {
+		return ParseJSON([]byte(in))
+	}
+	for _, kv := range strings.Split(in, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("scenario: %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "drop":
+			s.Drop, err = strconv.ParseFloat(val, 64)
+		case "crashfrac":
+			s.CrashFrac, err = strconv.ParseFloat(val, 64)
+		case "crashround":
+			s.CrashRound, err = strconv.Atoi(val)
+		case "restart":
+			s.RestartAfter, err = strconv.Atoi(val)
+		case "seed":
+			s.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "crash":
+			var c Crash
+			if c, err = parseCrash(val); err == nil {
+				s.Crashes = append(s.Crashes, c)
+			}
+		case "edge":
+			var e EdgeEvent
+			if e, err = parseEdge(val); err == nil {
+				s.Edges = append(s.Edges, e)
+			}
+		default:
+			return nil, fmt.Errorf("scenario: unknown key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario: bad %s value %q: %w", key, val, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseCrash reads V@R or V@R+K.
+func parseCrash(val string) (Crash, error) {
+	vs, rest, ok := strings.Cut(val, "@")
+	if !ok {
+		return Crash{}, fmt.Errorf("want V@R or V@R+K")
+	}
+	rs, ks, restart := strings.Cut(rest, "+")
+	v, err := strconv.Atoi(vs)
+	if err != nil {
+		return Crash{}, err
+	}
+	r, err := strconv.Atoi(rs)
+	if err != nil {
+		return Crash{}, err
+	}
+	c := Crash{V: v, Round: r}
+	if restart {
+		k, err := strconv.Atoi(ks)
+		if err != nil {
+			return Crash{}, err
+		}
+		if k < 1 {
+			return Crash{}, fmt.Errorf("restart delay %d below 1", k)
+		}
+		c.Restart = r + k
+	}
+	return c, nil
+}
+
+// parseEdge reads +U-V@R (insert) or -U-V@R (delete).
+func parseEdge(val string) (EdgeEvent, error) {
+	if val == "" || (val[0] != '+' && val[0] != '-') {
+		return EdgeEvent{}, fmt.Errorf("want +U-V@R or -U-V@R")
+	}
+	e := EdgeEvent{Insert: val[0] == '+'}
+	pair, rs, ok := strings.Cut(val[1:], "@")
+	if !ok {
+		return EdgeEvent{}, fmt.Errorf("want +U-V@R or -U-V@R")
+	}
+	us, vs, ok := strings.Cut(pair, "-")
+	if !ok {
+		return EdgeEvent{}, fmt.Errorf("want U-V endpoints")
+	}
+	var err error
+	if e.U, err = strconv.Atoi(us); err != nil {
+		return EdgeEvent{}, err
+	}
+	if e.V, err = strconv.Atoi(vs); err != nil {
+		return EdgeEvent{}, err
+	}
+	if e.Round, err = strconv.Atoi(rs); err != nil {
+		return EdgeEvent{}, err
+	}
+	return e, nil
+}
+
+// ParseJSON reads the JSON form of a Spec (the same schema the fields'
+// json tags define). Unknown fields are rejected — a typoed fault key
+// silently parsing as fault-free would invalidate an experiment.
+func ParseJSON(in []byte) (*Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(in)))
+	dec.DisallowUnknownFields()
+	s := &Spec{}
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("scenario: bad JSON spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// String renders the spec in the canonical compact form: Parse(s.String())
+// reproduces s (after validation's endpoint normalization). The zero spec
+// renders as the empty string.
+func (s *Spec) String() string {
+	var parts []string
+	if s.Drop != 0 {
+		parts = append(parts, "drop="+strconv.FormatFloat(s.Drop, 'g', -1, 64))
+	}
+	if s.CrashFrac != 0 {
+		parts = append(parts, "crashfrac="+strconv.FormatFloat(s.CrashFrac, 'g', -1, 64))
+	}
+	if s.CrashRound != 0 {
+		parts = append(parts, "crashround="+strconv.Itoa(s.CrashRound))
+	}
+	if s.RestartAfter != 0 {
+		parts = append(parts, "restart="+strconv.Itoa(s.RestartAfter))
+	}
+	if s.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatUint(s.Seed, 10))
+	}
+	for _, c := range s.Crashes {
+		p := fmt.Sprintf("crash=%d@%d", c.V, c.Round)
+		if c.Restart != 0 {
+			p = fmt.Sprintf("crash=%d@%d+%d", c.V, c.Round, c.Restart-c.Round)
+		}
+		parts = append(parts, p)
+	}
+	for _, e := range s.Edges {
+		sign := "-"
+		if e.Insert {
+			sign = "+"
+		}
+		parts = append(parts, fmt.Sprintf("edge=%s%d-%d@%d", sign, e.U, e.V, e.Round))
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,40 @@
+package scenario
+
+import "vavg/internal/engine"
+
+// PRNG is the scenario layer's deterministic decision stream: a
+// counter-based generator over the engine's splitmix64 finalizer. Unlike
+// the per-vertex math/rand streams algorithm code draws from api.Rand(),
+// a PRNG's output is a pure function of (seed, draw index) with no hidden
+// state size, so scenario compilation can interleave or replay draws
+// freely without perturbing the algorithm streams — the split-seed seam
+// the scenarioseam analyzer enforces.
+type PRNG struct {
+	seed uint64
+	ctr  uint64
+}
+
+// NewPRNG derives a decision stream from the (run seed, scenario seed)
+// pair, the same derivation Compile uses for its internal streams.
+func NewPRNG(runSeed int64, scenarioSeed uint64) *PRNG {
+	return &PRNG{seed: deriveSeed(runSeed, scenarioSeed, streamEpoch)}
+}
+
+// Uint64 returns the next 64-bit draw.
+func (p *PRNG) Uint64() uint64 {
+	p.ctr++
+	return engine.Mix64(p.seed + p.ctr*0x9e3779b97f4a7c15)
+}
+
+// Float64 returns the next draw in [0, 1).
+func (p *PRNG) Float64() float64 {
+	return float64(p.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns the next draw in [0, n); it panics if n is not positive.
+func (p *PRNG) Intn(n int) int {
+	if n <= 0 {
+		panic("scenario: Intn with non-positive bound")
+	}
+	return int(p.Uint64() % uint64(n))
+}

@@ -30,7 +30,22 @@ import (
 	"vavg/internal/graph"
 	"vavg/internal/hpartition"
 	"vavg/internal/metrics"
+	"vavg/internal/scenario"
 )
+
+// Scenario is an adversarial fault specification; see Params.Scenario and
+// ParseScenario.
+type Scenario = scenario.Spec
+
+// Crash is one scheduled vertex crash inside a Scenario.
+type Crash = scenario.Crash
+
+// EdgeEvent is one scheduled dynamic-graph change inside a Scenario.
+type EdgeEvent = scenario.EdgeEvent
+
+// ParseScenario reads the compact CLI form of a fault scenario (or its
+// JSON form when the string starts with '{'); see scenario.Parse.
+func ParseScenario(s string) (*Scenario, error) { return scenario.Parse(s) }
 
 // Graph is the immutable input graph; see the generator functions.
 type Graph = graph.Graph
@@ -85,6 +100,14 @@ type Params struct {
 	// runtime.GOMAXPROCS. Worker count never changes results — parallel
 	// and serial sweeps are byte-identical by construction.
 	SweepWorkers int
+	// Scenario is the adversarial fault scenario for the run: seeded
+	// message drops, crashes and restarts, dynamic edge schedules. Nil and
+	// the zero Spec both select the fault-free path, byte-identical to a
+	// scenario-free run. Scenario runs skip hard output validation and
+	// report degradation measurements (residual conflicts, losses, DNF)
+	// instead; see the Report fields. Scenarios thread through Sweep like
+	// every other parameter.
+	Scenario *scenario.Spec
 }
 
 // Backends lists the registered engine execution backends, in the order
@@ -158,6 +181,9 @@ func (alg Algorithm) HasStep() bool { return alg.step != nil }
 // disabled), and reports the paper's measures.
 func (alg Algorithm) Run(g *Graph, p Params) (Report, error) {
 	p = p.withDefaults(g)
+	if p.Scenario != nil && !p.Scenario.IsZero() {
+		return alg.runScenario(g, p)
+	}
 	spec := engine.Spec{Program: alg.program(p)}
 	if alg.step != nil {
 		spec.Step = alg.step(p)
