@@ -79,6 +79,91 @@ func TestCrossBackendEquivalenceRegistry(t *testing.T) {
 	}
 }
 
+// TestRegistryStepForms pins the goroutine-free registry contract: every
+// registered algorithm ships a step form, so backend "auto" resolves to
+// the explicit-state-machine step backend for the whole registry and no
+// registry run needs one goroutine per vertex.
+func TestRegistryStepForms(t *testing.T) {
+	for _, alg := range Algorithms() {
+		if !alg.HasStep() {
+			t.Errorf("algorithm %s has no step form; backend auto falls back to goroutines", alg.Name)
+		}
+	}
+}
+
+// TestStepWorkerInvarianceRegistry extends the worker-invariance gate
+// from synthetic programs to the real registry: for every algorithm, the
+// step backend must produce byte-identical Results at P ∈ {1, 2, 4, 8} —
+// P applied as both StepShards (lane layout) and GOMAXPROCS (worker
+// parallelism) — faultless and under a drop+crash+restart scenario. CI
+// runs this under -race, where any cross-shard store outside the staged
+// lanes surfaces as a race rather than a flake.
+func TestStepWorkerInvarianceRegistry(t *testing.T) {
+	forest := ForestUnion(160, 3, 7)
+	ring := Ring(160)
+	sc := &Scenario{Drop: 0.1, CrashFrac: 0.03, CrashRound: 4, RestartAfter: 8, Seed: 9,
+		Crashes: []Crash{{V: 1, Round: 2}, {V: 5, Round: 5, Restart: 9}}}
+	points := []int{1, 2, 4, 8}
+	if testing.Short() {
+		points = []int{1, 4}
+	}
+	for _, alg := range Algorithms() {
+		g, a := forest, 3
+		if strings.Contains(alg.Name, "ring") || alg.Kind == KindReference {
+			g, a = ring, 2
+		}
+		alg, g, a := alg, g, a
+		t.Run(alg.Name, func(t *testing.T) {
+			// GOMAXPROCS is process-global, so the P axis runs sequentially
+			// (no t.Parallel) and each point restores the previous value.
+			p := Params{Arboricity: a, Seed: 11, MaxRounds: 1 << 21}.withDefaults(g)
+			spec := engine.Spec{Program: alg.program(p)}
+			if alg.step != nil {
+				spec.Step = alg.step(p)
+			}
+			for _, fault := range []string{"faultless", "dropcrash"} {
+				opts := engine.Options{Seed: p.Seed, MaxRounds: p.MaxRounds, Backend: "step"}
+				if fault == "dropcrash" {
+					adv, err := sc.Clone().Compile(g.N(), p.Seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// A crashed-forever vertex can strand a run; the budget
+					// turns that into a deterministic DNF outcome that must
+					// itself be invariant across layouts.
+					opts.Adv = adv
+					opts.MaxRounds = 4096
+				}
+				type outcome struct {
+					res *engine.Result
+					dnf bool
+				}
+				var base outcome
+				for _, P := range points {
+					old := gort.GOMAXPROCS(P)
+					opts.StepShards = P
+					res, err := engine.RunSpec(g, spec, opts)
+					gort.GOMAXPROCS(old)
+					if res == nil {
+						t.Fatalf("%s P=%d: %v", fault, P, err)
+					}
+					got := outcome{res, err != nil}
+					if P == points[0] {
+						base = got
+						continue
+					}
+					if got.dnf != base.dnf || !reflect.DeepEqual(base.res, got.res) {
+						t.Errorf("%s P=%d: Result differs from P=%d (dnf %v vs %v; messages %d vs %d, roundSum %d vs %d)",
+							fault, P, points[0], got.dnf, base.dnf,
+							got.res.Messages, base.res.Messages,
+							got.res.RoundSum, base.res.RoundSum)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestPoolDecayShape re-runs the Lemma 6.1 assertions against the pool
 // backend: on the active-set scheduler too, Procedure Partition's active
 // set must decay within the geometric envelope n*(2/(2+eps))^i, and the

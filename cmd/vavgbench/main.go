@@ -42,6 +42,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		jsonF     = flag.Bool("json", false, "machine-readable JSON output (supported by -exp backends)")
 		workers   = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS); never changes results")
+		shards    = flag.Int("stepshards", 0, "step-backend shard count (0 = GOMAXPROCS); never changes results")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		compare   = flag.String("compare", "", "baseline JSON (BENCH_engine.json format): rerun the backend benchmark and fail on regressions")
@@ -62,7 +63,7 @@ func main() {
 	}
 	defer stopProfiles()
 
-	cfg := experiments.Config{W: os.Stdout, Quick: *quick, JSON: *jsonF, Workers: *workers}
+	cfg := experiments.Config{W: os.Stdout, Quick: *quick, JSON: *jsonF, Workers: *workers, StepShards: *shards}
 	if cfg.Sizes, err = parseInts(*sizes); err != nil {
 		fatal(err)
 	}

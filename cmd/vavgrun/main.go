@@ -37,6 +37,7 @@ func main() {
 		eps     = flag.Float64("eps", 2, "partition slack in (0,2]")
 		seed    = flag.Int64("seed", 1, "run seed")
 		backend = flag.String("backend", "", "engine backend: goroutines|pool|step|auto (default auto)")
+		shards  = flag.Int("stepshards", 0, "step-backend shard count (0 = GOMAXPROCS); never changes results")
 		decay   = flag.Bool("decay", false, "print the active-vertex decay")
 		scen    = flag.String("scenario", "", "adversarial scenario, e.g. 'drop=0.25,crashfrac=0.05,crashround=3' or a JSON spec")
 		sweep   = flag.String("sweep", "", "comma-separated sizes: run a size sweep instead of a single run")
@@ -75,7 +76,7 @@ func main() {
 		}
 	}
 	if *sweep != "" {
-		if err := runSweep(alg, *family, *sweep, *format, *a, *eps, *k, *c, *seed, *backend, *workers, sc); err != nil {
+		if err := runSweep(alg, *family, *sweep, *format, *a, *eps, *k, *c, *seed, *backend, *shards, *workers, sc); err != nil {
 			fatal(err)
 		}
 		return
@@ -85,7 +86,7 @@ func main() {
 		fatal(err)
 	}
 	rep, err := alg.Run(g, vavg.Params{
-		Arboricity: *a, Eps: *eps, K: *k, C: *c, Seed: *seed, Backend: *backend, Scenario: sc,
+		Arboricity: *a, Eps: *eps, K: *k, C: *c, Seed: *seed, Backend: *backend, StepShards: *shards, Scenario: sc,
 	})
 	if err != nil {
 		fatal(err)
@@ -136,7 +137,7 @@ func main() {
 
 // runSweep measures the algorithm across a size sweep and emits CSV or
 // JSON suitable for plotting.
-func runSweep(alg vavg.Algorithm, family, sizesArg, format string, a int, eps float64, k, c int, seed int64, backend string, workers int, sc *vavg.Scenario) error {
+func runSweep(alg vavg.Algorithm, family, sizesArg, format string, a int, eps float64, k, c int, seed int64, backend string, shards, workers int, sc *vavg.Scenario) error {
 	var sizes []int
 	for _, part := range strings.Split(sizesArg, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
@@ -152,7 +153,7 @@ func runSweep(alg vavg.Algorithm, family, sizesArg, format string, a int, eps fl
 		}
 		return g
 	})
-	res, err := vavg.Sweep(alg, gen, sizes, nil, vavg.Params{Arboricity: a, Eps: eps, K: k, C: c, Backend: backend, SweepWorkers: workers, Scenario: sc})
+	res, err := vavg.Sweep(alg, gen, sizes, nil, vavg.Params{Arboricity: a, Eps: eps, K: k, C: c, Backend: backend, StepShards: shards, SweepWorkers: workers, Scenario: sc})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,66 @@
+// Package fixture exercises the shardseam analyzer: phase-owned shard
+// state must be written only through its own methods' receiver or a
+// //vavg:shardmerge routine, must not carry locks, and its round path
+// must not call into sync or sync/atomic.
+package fixture
+
+import "sync"
+
+// shard is the per-shard state of a staged-lane round engine.
+//
+//vavg:shardstate
+type shard struct {
+	lo      int32
+	pending []int32
+	mu      sync.Mutex // want "lock or atomic field in //vavg:shardstate struct shard"
+}
+
+// plain carries a mutex but is not shard state; no finding.
+type plain struct {
+	mu sync.Mutex
+}
+
+// note writes through the receiver: the owner path, allowed.
+func (s *shard) note(v int32) {
+	s.pending = append(s.pending, v)
+}
+
+// steal writes a foreign shard from inside an owner method: a cross-shard
+// store racing that shard's owner.
+func (s *shard) steal(other *shard) {
+	other.pending = append(other.pending, s.lo) // want "write to shard state field pending outside the method receiver"
+}
+
+// lock drags a lock into the shard round path.
+func (s *shard) lock() {
+	s.mu.Lock()         // want "sync.Lock call in the shard round path"
+	defer s.mu.Unlock() // want "sync.Unlock call in the shard round path"
+	s.lo++
+}
+
+// drain is coordinator code writing shard fields directly instead of
+// going through the shard's methods or a merge routine.
+func drain(s *shard) {
+	s.pending = s.pending[:0] // want "write to shard state field pending outside its owning shard's methods"
+}
+
+// merge is the sanctioned cross-shard path: it runs at the round barrier
+// while no owner is active.
+//
+//vavg:shardmerge
+func merge(dst *shard, src []int32) {
+	dst.pending = append(dst.pending, src...)
+}
+
+// reset is tolerated by an audited suppression: the caller guarantees the
+// engine is quiescent.
+func reset(s *shard) {
+	//lint:ignore shardseam fixture: demonstrating an accepted suppression
+	s.lo = 0
+}
+
+// outside touches only non-shard state; sync use is fine here.
+func outside(p *plain) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+}

@@ -105,6 +105,11 @@ type Options struct {
 	// A nil adversary costs the hot path one pointer test per flush and
 	// zero allocations; a non-nil one must already be normalized for g.
 	Adv *Adversary
+	// StepShards fixes the step backend's shard count independently of
+	// the worker cores driving it (0 means GOMAXPROCS at run start).
+	// Results are invariant in both knobs; a fixed value reproduces the
+	// same shard layout on any machine. Other backends ignore it.
+	StepShards int
 }
 
 // Run executes prog on every vertex of g until all vertices terminate,
@@ -114,7 +119,7 @@ func Run(g *graph.Graph, prog Program, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return b.Run(g, prog, exec.Config{Seed: opts.Seed, MaxRounds: opts.MaxRounds, Adv: opts.Adv})
+	return b.Run(g, prog, exec.Config{Seed: opts.Seed, MaxRounds: opts.MaxRounds, Adv: opts.Adv, StepShards: opts.StepShards})
 }
 
 // RunSpec executes spec on the backend selected by opts.Backend,
@@ -123,7 +128,7 @@ func Run(g *graph.Graph, prog Program, opts Options) (*Result, error) {
 // execution-strategy choice only: equal seeds produce byte-identical
 // Results for both forms on every backend.
 func RunSpec(g *graph.Graph, spec Spec, opts Options) (*Result, error) {
-	return exec.RunSpec(g, spec, opts.Backend, exec.Config{Seed: opts.Seed, MaxRounds: opts.MaxRounds, Adv: opts.Adv})
+	return exec.RunSpec(g, spec, opts.Backend, exec.Config{Seed: opts.Seed, MaxRounds: opts.MaxRounds, Adv: opts.Adv, StepShards: opts.StepShards})
 }
 
 // Backends lists the registered execution backends.

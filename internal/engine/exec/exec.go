@@ -84,6 +84,14 @@ type Config struct {
 	// (a single pointer test per flush); a non-nil one must have been
 	// normalized for the run's graph (see Adversary.Normalize).
 	Adv *Adversary
+	// StepShards fixes the step backend's shard count: vertex state is
+	// split into this many contiguous ranges regardless of how many worker
+	// cores drive them (workers are capped at min(GOMAXPROCS, shards)).
+	// 0 means GOMAXPROCS at run start. Results are invariant in both the
+	// shard and the worker count — the knob only trades scheduling
+	// granularity against per-shard overhead — but a fixed value makes the
+	// shard layout reproducible across machines. Other backends ignore it.
+	StepShards int
 }
 
 func (c Config) maxRounds(n int) int {
@@ -477,13 +485,20 @@ func (c *core) finish(activePerRound []int, maxRounds int) (*Result, error) {
 type abortSentinel struct{}
 
 // runtime is the backend-side contract of the API: how a vertex crosses a
-// round barrier and how it waits out an idle window. notifySend lets a
-// backend observe each delivered message (the pool backend uses it to wake
-// idle-parked receivers).
+// round barrier and how it waits out an idle window. deliver owns the
+// delivery-slab write for adjacency position p of the sending vertex
+// (slot g.Rev[p], receiver g.Adj[p]): backends either write the slab
+// directly (each slot has a single writer, so no locks are needed) or
+// stage the write for a deterministic merge at the round barrier, and may
+// additionally observe the delivery to wake a parked receiver. deliver is
+// called for every slot write of a round, including overwrites of a slot
+// the same sender already wrote (last write wins); wake notifications are
+// deduplicated per (receiver, round) by the backends that need them, so
+// repeated calls are idempotent. Message counting stays with the caller.
 type runtime interface {
 	next(a *API, buf []Msg) []Msg
 	idle(a *API, k int, buf []Msg) []Msg
-	notifySend(recv int32)
+	deliver(a *API, p int32, c cell)
 }
 
 // API is the interface a Program uses to act as its vertex. All methods
@@ -698,14 +713,13 @@ func (a *API) writeThrough(c cell) {
 	lo, hi := g.Off[a.v], g.Off[a.v+1]
 	if a.bcast {
 		for p := lo; p < hi; p++ {
-			a.core.sendBuf[g.Rev[p]] = c
+			a.rt.deliver(a, p, c)
 		}
 		return
 	}
 	a.bcast = true
 	for p := lo; p < hi; p++ {
-		a.core.sendBuf[g.Rev[p]] = c
-		a.rt.notifySend(g.Adj[p])
+		a.rt.deliver(a, p, c)
 	}
 	a.core.msgCount[a.v] += int64(hi - lo)
 }
@@ -733,11 +747,8 @@ func (a *API) flush() {
 	base := g.Off[a.v]
 	for _, k := range a.dirty {
 		p := base + k
-		a.core.sendBuf[g.Rev[p]] = a.out[k]
+		a.rt.deliver(a, p, a.out[k])
 		a.out[k] = cell{}
-		if !bcast {
-			a.rt.notifySend(g.Adj[p])
-		}
 	}
 	if !bcast {
 		a.core.msgCount[a.v] += int64(len(a.dirty))
@@ -775,9 +786,8 @@ func (a *API) writeThroughAdv(c cell) {
 				a.core.dropCount[a.v]++
 			}
 		default:
-			a.core.sendBuf[g.Rev[p]] = c
+			a.rt.deliver(a, p, c)
 			if count {
-				a.rt.notifySend(g.Adj[p])
 				delivered++
 			}
 		}
@@ -817,9 +827,8 @@ func (a *API) flushAdv() {
 				a.core.dropCount[a.v]++
 			}
 		default:
-			a.core.sendBuf[g.Rev[p]] = a.out[k]
+			a.rt.deliver(a, p, a.out[k])
 			if !bcast {
-				a.rt.notifySend(g.Adj[p])
 				delivered++
 			}
 		}

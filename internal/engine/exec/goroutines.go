@@ -20,7 +20,14 @@ type goRuntime struct {
 	wake []chan struct{}
 }
 
-func (rt *goRuntime) notifySend(int32) {}
+// deliver writes the slab slot directly: every vertex has its own
+// goroutine and is woken every round regardless, so no wake bookkeeping
+// is needed.
+//
+//vavg:hotpath
+func (rt *goRuntime) deliver(a *API, p int32, c cell) {
+	a.core.sendBuf[a.core.g.Rev[p]] = c
+}
 
 func (rt *goRuntime) next(a *API, buf []Msg) []Msg {
 	a.flush()

@@ -17,7 +17,7 @@ type nopRuntime struct{}
 
 func (nopRuntime) next(a *API, buf []Msg) []Msg        { panic("nopRuntime.next") }
 func (nopRuntime) idle(a *API, k int, buf []Msg) []Msg { panic("nopRuntime.idle") }
-func (nopRuntime) notifySend(int32)                    {}
+func (nopRuntime) deliver(a *API, p int32, c cell)     { a.core.sendBuf[a.core.g.Rev[p]] = c }
 
 // stubAPI builds an API wired exactly as runVertex does, without spawning
 // a goroutine.

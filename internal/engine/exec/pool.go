@@ -111,6 +111,16 @@ type poolRuntime struct {
 
 func (rt *poolRuntime) shardOf(v int32) *shard { return rt.shards[v/rt.shardSize] }
 
+// deliver writes the slab slot directly (single writer per slot) and
+// notifies the receiver's shard so an idle-parked receiver is woken.
+//
+//vavg:hotpath
+func (rt *poolRuntime) deliver(a *API, p int32, c cell) {
+	g := a.core.g
+	a.core.sendBuf[g.Rev[p]] = c
+	rt.notifySend(g.Adj[p])
+}
+
 // notifySend marks receiver recv as having a message deliverable next
 // round, waking it if it is idle-parked. The msgRound CAS deduplicates to
 // one pending entry per receiver per round; entries for receivers that

@@ -4,8 +4,8 @@ import (
 	"math"
 	gort "runtime"
 	"slices"
+	"sort"
 	"sync"
-	"sync/atomic"
 
 	"vavg/internal/graph"
 )
@@ -28,6 +28,26 @@ import (
 // (vertex, round) exactly as in the other backends, a faithful
 // translation produces byte-identical Results — the cross-backend
 // equivalence suite enforces this for every dual-registered algorithm.
+//
+// Multicore execution splits each round into two barrier-separated
+// phases, both free of locks and atomics:
+//
+//	exec:  each worker runs its owned shards' due turns. Same-shard
+//	       deliveries write the slab and wake bookkeeping directly (the
+//	       worker owns that state); cross-shard deliveries are appended to
+//	       the (source shard, destination shard) staging lane — a flat
+//	       append-only buffer only this worker writes this phase.
+//	merge: each worker drains the lanes addressed to its owned shards,
+//	       applying slab writes and wake entries single-threaded per
+//	       destination shard, iterating source shards in ascending order.
+//
+// Lane entries are appended in ascending sender order (turns run in
+// vertex order) with program-order slot writes per sender, so the merge
+// applies cross-shard deliveries in (source shard, sender vertex, slot)
+// order and last-write-wins slot semantics are preserved exactly.
+// Results are therefore byte-identical at any worker count — and at any
+// shard count, since every observable is keyed by (vertex, round), never
+// by shard layout.
 
 // StepFn is one turn of a step-form vertex program: it receives the
 // messages delivered since its last turn (ordered by neighbor index;
@@ -110,11 +130,25 @@ func (stepBackend) Run(g *graph.Graph, prog Program, cfg Config) (*Result, error
 	return b.Run(g, prog, cfg)
 }
 
-// stepShard owns a contiguous vertex range [lo, hi). All its fields are
-// touched only by the shard's driver between round barriers, except
-// pending/msgRound which senders from any shard update under pendMu (the
-// same wake protocol as the pool backend).
+// laneEntry is one staged cross-shard delivery: slot is the receiver-side
+// slab index (g.Rev of the directed edge), recv the receiving vertex, c
+// the payload. Entries are zeroed after the merge applies them so pooled
+// payloads are not retained.
+type laneEntry struct {
+	slot, recv int32
+	c          cell
+}
+
+// stepShard owns a contiguous vertex range [lo, hi). The seam contract
+// (enforced by the shardseam analyzer): fields are written only by the
+// shard's own methods — the exec phase runs them from the worker owning
+// the shard, the merge phase from the worker merging it, and the
+// coordinator between rounds — never concurrently, so the shard needs no
+// mutex and no atomics anywhere.
+//
+//vavg:shardstate
 type stepShard struct {
+	idx    int32
 	lo, hi int32
 	// fns[v-lo] is v's next turn.
 	fns []StepFn
@@ -131,12 +165,12 @@ type stepShard struct {
 	// timers is a min-heap of (wake round, vertex) sleep expiries.
 	timers []idleEntry
 	// pending holds message wakes: entry (T, v) means a message addressed
-	// to v was flushed for delivery in round T. Senders append under
-	// pendMu, at most once per (v, T) thanks to msgRound.
-	pendMu  sync.Mutex
+	// to v was delivered for round T, at most once per (v, T) thanks to
+	// msgRound. Same-shard deliveries append during the exec phase,
+	// cross-shard ones during the merge phase.
 	pending []idleEntry
 	// msgRound[v-lo] is the latest delivery round already enqueued in
-	// pending for v; accessed atomically by senders.
+	// pending for v.
 	msgRound []int32
 	// live counts non-terminated vertices in the shard.
 	live int
@@ -152,8 +186,14 @@ type stepRuntime struct {
 	c         *core
 	shards    []*stepShard
 	shardSize int32
+	// lanes[src*len(shards)+dst] stages the cross-shard deliveries sent
+	// from shard src to shard dst this round. During the exec phase lane
+	// (src, *) is written only by the worker running shard src; during the
+	// merge phase lane (*, dst) is read and truncated only by the worker
+	// merging shard dst. Nil on single-shard runs.
+	lanes [][]laneEntry
 	// round is the current global round, written by the coordinator at the
-	// barrier and read by senders during their turns.
+	// barrier and read by workers during the phases.
 	round int32
 	// restarts walks the adversary's restart schedule (empty on fault-free
 	// runs); the coordinator consumes it between rounds.
@@ -162,28 +202,64 @@ type stepRuntime struct {
 
 func (rt *stepRuntime) shardOf(v int32) *stepShard { return rt.shards[v/rt.shardSize] }
 
-// notifySend marks receiver recv as having a message deliverable next
-// round so a sleeping receiver's slots are drained in time (the double
-// buffers recycle a slot after two rounds, so an undrained delivery would
-// be lost or misread). Entries for receivers that turn out to be active
-// or terminated are dropped at drain time, as in the pool backend.
+// deliver routes one slot write: same-shard deliveries go straight to the
+// slab and the shard's wake bookkeeping (the calling worker owns both),
+// cross-shard ones are staged in the source→destination lane for the
+// round-barrier merge. No locks, no atomics, on either path.
 //
 //vavg:hotpath
-func (rt *stepRuntime) notifySend(recv int32) {
-	s := rt.shardOf(recv)
+func (rt *stepRuntime) deliver(a *API, p int32, c cell) {
+	g := a.core.g
+	recv := g.Adj[p]
+	d := recv / rt.shardSize
+	src := a.v / rt.shardSize
+	if src != d {
+		li := src*int32(len(rt.shards)) + d
+		rt.lanes[li] = append(rt.lanes[li], laneEntry{slot: g.Rev[p], recv: recv, c: c})
+		return
+	}
+	rt.c.sendBuf[g.Rev[p]] = c
+	rt.shards[d].noteDelivery(recv, rt.round+1)
+}
+
+// noteDelivery marks receiver recv as having a message deliverable in
+// round t so a sleeping receiver's slots are drained in time (the double
+// buffers recycle a slot after two rounds, so an undrained delivery would
+// be lost or misread). Deduplicated to one pending entry per (recv, t);
+// entries for receivers that turn out to be active or terminated are
+// dropped at drain time, as in the pool backend. Callers must own the
+// shard for the current phase.
+//
+//vavg:hotpath
+func (s *stepShard) noteDelivery(recv, t int32) {
 	i := recv - s.lo
+	if s.msgRound[i] >= t {
+		return
+	}
+	s.msgRound[i] = t
+	s.pending = append(s.pending, idleEntry{t, recv})
+}
+
+// applyLanes is the merge phase for this destination shard: every source
+// shard's staged deliveries are applied in ascending source-shard order —
+// slab write plus wake bookkeeping, single-threaded for this shard — and
+// the drained lanes are zeroed (payload cells may hold pointers) and
+// truncated for the next round.
+//
+//vavg:shardmerge
+func (s *stepShard) applyLanes(rt *stepRuntime) {
 	t := rt.round + 1
-	for {
-		old := atomic.LoadInt32(&s.msgRound[i])
-		if old >= t {
-			return
+	nsh := int32(len(rt.shards))
+	for src := int32(0); src < nsh; src++ {
+		li := src*nsh + s.idx
+		lane := rt.lanes[li]
+		for i := range lane {
+			e := &lane[i]
+			rt.c.sendBuf[e.slot] = e.c
+			s.noteDelivery(e.recv, t)
+			*e = laneEntry{}
 		}
-		if atomic.CompareAndSwapInt32(&s.msgRound[i], old, t) {
-			s.pendMu.Lock()
-			s.pending = append(s.pending, idleEntry{t, recv})
-			s.pendMu.Unlock()
-			return
-		}
+		rt.lanes[li] = lane[:0]
 	}
 }
 
@@ -272,9 +348,9 @@ func (s *stepShard) runRound(rt *stepRuntime, apis []API, w int32) {
 	// (in delivery-round order, so a later wake sees the same accumulated
 	// sequence a blocking Idle builds). Entries for active, waking, or
 	// terminated receivers are dropped: those vertices collect for
-	// themselves, or never will. Entries stamped for a later round by
-	// shards already executing it stay queued.
-	s.pendMu.Lock()
+	// themselves, or never will. No lock: pending is written only by this
+	// shard's owner during the exec phase and its merger during the merge
+	// phase, and this drain is the exec phase's first touch.
 	keep := s.pending[:0]
 	for _, e := range s.pending {
 		if e.round > w {
@@ -287,7 +363,6 @@ func (s *stepShard) runRound(rt *stepRuntime, apis []API, w int32) {
 		}
 	}
 	s.pending = keep
-	s.pendMu.Unlock()
 	// Merge the compacted active list with this round's woken sleepers,
 	// collecting each vertex's inbox: active vertices start a fresh inbox,
 	// woken ones append the window's final round to what the drains above
@@ -388,6 +463,33 @@ func (s *stepShard) runRound(rt *stepRuntime, apis []API, w int32) {
 	}
 }
 
+// reboot re-arms a crashed vertex for a restart in the coming round: its
+// machine slot was cleared at crash time, so its next turn boots a fresh
+// incarnation with a new PRNG generation. Called by the coordinator
+// between rounds.
+func (s *stepShard) reboot(c *core, v int32) {
+	c.done[v] = false
+	c.crashed[v] = false
+	c.gens[v]++
+	s.wakeAt[v-s.lo] = 0
+	s.live++
+	s.active = append(s.active, v)
+}
+
+// sortActive restores the ascending order the turn merge requires after
+// out-of-order reboots were appended.
+func (s *stepShard) sortActive() {
+	if !slices.IsSorted(s.active) {
+		slices.Sort(s.active)
+	}
+}
+
+// weight estimates the shard's upcoming per-round cost for rebalancing:
+// runnable vertices plus parked sleepers that will wake later.
+func (s *stepShard) weight() int {
+	return len(s.active) + len(s.timers)
+}
+
 // nextEventRound returns the earliest upcoming round in which any vertex
 // takes a turn: cur+1 if some shard has active vertices or pending
 // message wakes, otherwise the earliest sleep expiry. Rounds in between
@@ -395,13 +497,7 @@ func (s *stepShard) runRound(rt *stepRuntime, apis []API, w int32) {
 func (rt *stepRuntime) nextEventRound(cur int) int {
 	next := math.MaxInt
 	for _, s := range rt.shards {
-		if len(s.active) > 0 {
-			return cur + 1
-		}
-		s.pendMu.Lock()
-		np := len(s.pending)
-		s.pendMu.Unlock()
-		if np > 0 {
+		if len(s.active) > 0 || len(s.pending) > 0 {
 			return cur + 1
 		}
 		if len(s.timers) > 0 && int(s.timers[0].round) < next {
@@ -424,10 +520,56 @@ func (rt *stepRuntime) nextEventRound(cur int) int {
 	return next
 }
 
+// stepRebalanceEpoch is the coordinator's rebalancing cadence: every this
+// many rounds the shard→worker assignment is recomputed from the shards'
+// active-set weights. Rebalancing is pure scheduling — Results never
+// depend on which worker runs a shard.
+const stepRebalanceEpoch = 32
+
+// rebalanceShards reassigns shards to workers by greedy
+// longest-processing-time bin packing on the shards' current weights:
+// shards are placed heaviest-first onto the least-loaded worker, with
+// deterministic tie-breaks (shard index, then worker index). Only useful
+// when there are more shards than workers — with skewed active sets a
+// fixed block assignment can leave most workers idle behind one hot
+// shard.
+func rebalanceShards(owned [][]*stepShard, shards []*stepShard) {
+	order := make([]int32, len(shards))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return shards[order[i]].weight() > shards[order[j]].weight()
+	})
+	loads := make([]int, len(owned))
+	for w := range owned {
+		owned[w] = owned[w][:0]
+	}
+	for _, si := range order {
+		best := 0
+		for w := 1; w < len(loads); w++ {
+			if loads[w] < loads[best] {
+				best = w
+			}
+		}
+		owned[best] = append(owned[best], shards[si])
+		loads[best] += shards[si].weight() + 1
+	}
+}
+
+// Worker phase tokens: one full round is exec (turns) then merge (lane
+// application), each ending in a barrier.
+const (
+	phaseExec uint8 = iota
+	phaseMerge
+)
+
 // RunStep executes a step-form program: per-round cost is proportional to
 // the vertices due a turn plus the messages delivered, with zero
-// goroutines beyond one worker per shard (and none at all on a single
-// shard).
+// goroutines beyond one persistent worker per core (and none at all with
+// a single worker). cfg.StepShards fixes the shard layout independently
+// of the worker count; see the package comment above for the two-phase
+// round structure that keeps multicore Results byte-identical.
 func (stepBackend) RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Result, error) {
 	n := g.N()
 	maxRounds := cfg.maxRounds(n)
@@ -436,7 +578,10 @@ func (stepBackend) RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Resul
 	c.scratch.stepFns = reslice(c.scratch.stepFns, n)
 	apis := c.scratch.apis
 
-	nshards := gort.GOMAXPROCS(0)
+	nshards := cfg.StepShards
+	if nshards <= 0 {
+		nshards = gort.GOMAXPROCS(0)
+	}
 	if nshards > n {
 		nshards = n
 	}
@@ -450,7 +595,12 @@ func (stepBackend) RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Resul
 		if hi > n {
 			hi = n
 		}
-		s := &stepShard{
+		var crashes eventCursor
+		if c.adv != nil {
+			crashes = eventCursor{events: shardEvents(c.adv.crashes, int32(lo), int32(hi))}
+		}
+		rt.shards = append(rt.shards, &stepShard{
+			idx:      int32(len(rt.shards)),
 			lo:       int32(lo),
 			hi:       int32(hi),
 			fns:      c.scratch.stepFns[lo:hi:hi],
@@ -459,30 +609,53 @@ func (stepBackend) RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Resul
 			msgRound: make([]int32, hi-lo),
 			live:     hi - lo,
 			bootProg: prog,
-		}
-		rt.shards = append(rt.shards, s)
+			crashes:  crashes,
+		})
+	}
+	nshards = len(rt.shards)
+	if nshards > 1 {
+		rt.lanes = make([][]laneEntry, nshards*nshards)
 	}
 	if c.adv != nil {
 		rt.restarts = eventCursor{events: c.adv.restarts}
-		for _, s := range rt.shards {
-			s.crashes = eventCursor{events: shardEvents(c.adv.crashes, s.lo, s.hi)}
-		}
 	}
 
-	// Multi-shard runs use one persistent worker per shard released once
-	// per round; a single shard runs inline with no goroutines at all.
-	var roundWG sync.WaitGroup
-	var starts []chan struct{}
-	if len(rt.shards) > 1 {
-		for _, s := range rt.shards {
-			start := make(chan struct{})
+	// Workers are capped by the shard count: the shard layout (and hence
+	// every Result) is fixed by cfg.StepShards, while the worker count
+	// adapts to the machine. Multi-worker runs use persistent workers
+	// released twice per round (exec, then merge); a single worker runs
+	// both phases inline with no goroutines at all.
+	workers := gort.GOMAXPROCS(0)
+	if workers > nshards {
+		workers = nshards
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	owned := make([][]*stepShard, workers)
+	for i, s := range rt.shards {
+		owned[i%workers] = append(owned[i%workers], s)
+	}
+	var phaseWG sync.WaitGroup
+	var starts []chan uint8
+	if workers > 1 {
+		for w := 0; w < workers; w++ {
+			start := make(chan uint8)
 			starts = append(starts, start)
-			go func(s *stepShard, start chan struct{}) {
-				for range start {
-					s.runRound(rt, apis, rt.round)
-					roundWG.Done()
+			go func(w int, start chan uint8) {
+				for ph := range start {
+					if ph == phaseExec {
+						for _, s := range owned[w] {
+							s.runRound(rt, apis, rt.round)
+						}
+					} else {
+						for _, s := range owned[w] {
+							s.applyLanes(rt)
+						}
+					}
+					phaseWG.Done()
 				}
-			}(s, start)
+			}(w, start)
 		}
 		defer func() {
 			for _, start := range starts {
@@ -490,19 +663,33 @@ func (stepBackend) RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Resul
 			}
 		}()
 	}
+	runPhase := func(ph uint8) {
+		if workers == 1 {
+			for _, s := range rt.shards {
+				if ph == phaseExec {
+					s.runRound(rt, apis, rt.round)
+				} else {
+					s.applyLanes(rt)
+				}
+			}
+			return
+		}
+		phaseWG.Add(workers)
+		for _, start := range starts {
+			start <- ph
+		}
+		phaseWG.Wait()
+	}
 
 	activePerRound := []int{n}
 	round := 1
 	rt.round = 1
 	for {
-		if len(rt.shards) == 1 {
-			rt.shards[0].runRound(rt, apis, rt.round)
-		} else {
-			roundWG.Add(len(rt.shards))
-			for _, start := range starts {
-				start <- struct{}{}
-			}
-			roundWG.Wait()
+		runPhase(phaseExec)
+		if nshards > 1 {
+			// Single-shard runs have no cross-shard lanes: every delivery
+			// took the direct path, and the merge phase is skipped whole.
+			runPhase(phaseMerge)
 		}
 		live := 0
 		for _, s := range rt.shards {
@@ -546,26 +733,21 @@ func (stepBackend) RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Resul
 					// Terminated before its scheduled crash: nothing to reboot.
 					continue
 				}
-				s := rt.shardOf(v)
-				c.done[v] = false
-				c.crashed[v] = false
-				c.gens[v]++
-				s.wakeAt[v-s.lo] = 0
-				s.live++
-				s.active = append(s.active, v)
+				rt.shardOf(v).reboot(c, v)
 				spawned++
 			}
 			if spawned > 0 {
 				// The merge pass needs ascending active lists; reboots were
 				// appended out of order.
 				for _, s := range rt.shards {
-					if !slices.IsSorted(s.active) {
-						slices.Sort(s.active)
-					}
+					s.sortActive()
 				}
 			}
 		}
 		activePerRound = append(activePerRound, live+spawned)
+		if workers > 1 && nshards > workers && round%stepRebalanceEpoch == 0 {
+			rebalanceShards(owned, rt.shards)
+		}
 	}
 	return c.finish(activePerRound, maxRounds)
 }

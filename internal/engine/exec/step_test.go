@@ -3,6 +3,7 @@ package exec
 import (
 	"errors"
 	"fmt"
+	gort "runtime"
 	"strings"
 	"testing"
 
@@ -204,6 +205,77 @@ func TestStepBackendEquivalence(t *testing.T) {
 					rs := runStep(t, graphs[gname], sprogs[pname], Config{Seed: seed})
 					requireEqualResults(t, label, rg, rs)
 				}
+			}
+		}
+	}
+}
+
+// TestStepWorkerInvariance is the multicore determinism gate of the
+// staged-lane step backend: a Result is a pure function of (graph,
+// program, seed, adversary) — shard count and worker count are execution
+// layout, not semantics. Every P ∈ {1, 2, 4, 8}, applied as both
+// GOMAXPROCS (worker parallelism) and StepShards (lane layout), must
+// reproduce the single-shard single-worker run byte for byte, faultless
+// and under a drop+crash+restart schedule; a skewed layout (more shards
+// than workers) additionally exercises the LPT rebalancer. CI runs this
+// under -race, so a racing cross-shard store is an error, not a flake.
+func TestStepWorkerInvariance(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"forest": graph.ForestUnion(260, 3, 7),
+		"gnm":    graph.Gnm(90, 260, 5),
+	}
+	progNames := []string{"flood", "send-then-idle", "mixed-lanes", "termination-wave"}
+	advFor := func(t *testing.T, n int) *Adversary {
+		t.Helper()
+		adv := &Adversary{Seed: 0x5eed, DropBar: ^uint64(0) / 8}
+		adv.CrashAt = make([]int32, n)
+		adv.RestartAt = make([]int32, n)
+		for v := 0; v < n; v += 29 {
+			adv.CrashAt[v] = int32(2 + v%5)
+			if v%58 == 0 {
+				adv.RestartAt[v] = adv.CrashAt[v] + 4
+			}
+		}
+		if err := adv.Normalize(n); err != nil {
+			t.Fatal(err)
+		}
+		return adv
+	}
+	// Faulty runs can strand a termination wave behind a crashed-forever
+	// vertex; the budget turns that into a deterministic DNF outcome that
+	// must itself be invariant across layouts.
+	run := func(t *testing.T, g *graph.Graph, prog StepProgram, adv *Adversary, shards, workers int) (*Result, bool) {
+		t.Helper()
+		old := gort.GOMAXPROCS(workers)
+		defer gort.GOMAXPROCS(old)
+		res, err := stepBackend{}.RunStep(g, prog, Config{Seed: 33, MaxRounds: 2048, Adv: adv, StepShards: shards})
+		if res == nil {
+			t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+		}
+		return res, err != nil
+	}
+	for _, gname := range sortedNames(graphs) {
+		g := graphs[gname]
+		for _, fault := range []string{"faultless", "dropcrash"} {
+			var adv *Adversary
+			if fault == "dropcrash" {
+				adv = advFor(t, g.N())
+			}
+			for _, pname := range progNames {
+				sprogs := stepTestPrograms()
+				base, baseDNF := run(t, g, sprogs[pname], adv, 1, 1)
+				check := func(shards, workers int) {
+					res, dnf := run(t, g, stepTestPrograms()[pname], adv, shards, workers)
+					label := fmt.Sprintf("%s/%s/%s/shards%d.workers%d", gname, fault, pname, shards, workers)
+					if dnf != baseDNF {
+						t.Errorf("%s: DNF %v, baseline %v", label, dnf, baseDNF)
+					}
+					requireEqualResults(t, label, base, res)
+				}
+				for _, p := range []int{2, 4, 8} {
+					check(p, p)
+				}
+				check(8, 3) // skewed: rebalance epochs re-bin shards mid-run
 			}
 		}
 	}

@@ -56,6 +56,11 @@ type BackendBench struct {
 	// (cfg.Workers); the parallel entry's Speedup is serial wall time over
 	// its own. Absent when the run was configured with one worker.
 	SweepTimings []SweepTiming `json:"sweepTimings,omitempty"`
+	// Multicore is the step backend's worker-scaling matrix (see
+	// multicore.go): the same shard layout driven by GOMAXPROCS ∈ {1,4,8}
+	// workers. Absent in baselines generated before the staged-lane
+	// backend; the compare gate treats the missing column as zero points.
+	Multicore []MulticorePoint `json:"multicore,omitempty"`
 }
 
 // SweepTiming is one wall-clock measurement of the whole benchmark matrix
@@ -105,7 +110,7 @@ func RunBackendBench(cfg Config) (*BackendBench, error) {
 					return nil, err
 				}
 				for _, backend := range engine.Backends() {
-					pt, err := measureBackend(alg, g, fam.Name, fam.A, backend, seed)
+					pt, err := measureBackend(alg, g, fam.Name, fam.A, backend, seed, cfg.StepShards)
 					if err != nil {
 						return nil, fmt.Errorf("backends: %s/%s/%s n=%d: %w", backend, name, fam.Name, n, err)
 					}
@@ -116,6 +121,9 @@ func RunBackendBench(cfg Config) (*BackendBench, error) {
 	}
 	var err error
 	if bench.SweepTimings, err = measureSweepTimings(cfg); err != nil {
+		return nil, err
+	}
+	if bench.Multicore, err = RunMulticoreBench(cfg); err != nil {
 		return nil, err
 	}
 	if bench.Faults, err = RunFaultsBench(cfg); err != nil {
@@ -140,7 +148,7 @@ func sweepMatrix(cfg Config) ([]runPoint, error) {
 				}
 				for _, backend := range engine.Backends() {
 					points = append(points, runPoint{alg, g, vavg.Params{
-						Arboricity: fam.A, Seed: seed, Backend: backend, SkipValidation: true,
+						Arboricity: fam.A, Seed: seed, Backend: backend, StepShards: cfg.StepShards, SkipValidation: true,
 					}})
 				}
 			}
@@ -191,7 +199,7 @@ func measureSweepTimings(cfg Config) ([]SweepTiming, error) {
 // measureBackend times one run with validation disabled so only the engine
 // core is on the clock, and samples HeapInuse+StackInuse concurrently to
 // capture the peak footprint (goroutine stacks dominate at large n).
-func measureBackend(alg vavg.Algorithm, g *vavg.Graph, family string, a int, backend string, seed int64) (BackendPoint, error) {
+func measureBackend(alg vavg.Algorithm, g *vavg.Graph, family string, a int, backend string, seed int64, stepShards int) (BackendPoint, error) {
 	runtime.GC()
 	stop := make(chan struct{})
 	peakCh := make(chan uint64, 1)
@@ -218,7 +226,7 @@ func measureBackend(alg vavg.Algorithm, g *vavg.Graph, family string, a int, bac
 	startMallocs := ms.Mallocs
 	start := time.Now()
 	rep, err := alg.Run(g, vavg.Params{
-		Arboricity: a, Seed: seed, Backend: backend, SkipValidation: true,
+		Arboricity: a, Seed: seed, Backend: backend, StepShards: stepShards, SkipValidation: true,
 	})
 	wall := time.Since(start)
 	runtime.ReadMemStats(&ms)

@@ -69,6 +69,23 @@ func benchKey(pt BackendPoint) string {
 	return fmt.Sprintf("%s/%s/%s/n=%d", pt.Backend, pt.Algorithm, pt.Family, pt.N)
 }
 
+// comparePoints folds a benchmark's multicore rows into its backend
+// points so the regression gate diffs both through one keyed pass. The
+// synthesized backend name carries the procs axis; baselines that
+// predate the multicore matrix simply contribute no such keys, which the
+// gate reports as unmatched rather than failing.
+func comparePoints(b *BackendBench) []BackendPoint {
+	points := append([]BackendPoint(nil), b.Points...)
+	for _, mp := range b.Multicore {
+		points = append(points, BackendPoint{
+			Backend:   fmt.Sprintf("step@%dprocs", mp.Procs),
+			Algorithm: mp.Algorithm, Family: mp.Family, N: mp.N,
+			WallMs: mp.WallMs, Allocs: mp.Allocs,
+		})
+	}
+	return points
+}
+
 func pctGrowth(old, new float64) float64 {
 	if old <= 0 {
 		return 0
@@ -83,12 +100,13 @@ func pctGrowth(old, new float64) float64 {
 // time is noisy and is what the threshold headroom is for.
 func CompareBenches(old, fresh *BackendBench, thresholdPct float64) *CompareReport {
 	rep := &CompareReport{ThresholdPct: thresholdPct}
-	oldByKey := make(map[string]BackendPoint, len(old.Points))
-	for _, pt := range old.Points {
+	oldPoints, freshPoints := comparePoints(old), comparePoints(fresh)
+	oldByKey := make(map[string]BackendPoint, len(oldPoints))
+	for _, pt := range oldPoints {
 		oldByKey[benchKey(pt)] = pt
 	}
-	matched := make(map[string]bool, len(fresh.Points))
-	for _, pt := range fresh.Points {
+	matched := make(map[string]bool, len(freshPoints))
+	for _, pt := range freshPoints {
 		key := benchKey(pt)
 		base, ok := oldByKey[key]
 		if !ok {

@@ -38,6 +38,10 @@ type Config struct {
 	// JSON switches experiments that support it (currently "backends") to
 	// machine-readable output instead of rendered tables.
 	JSON bool
+	// StepShards fixes the step backend's shard count for every run point
+	// (0 means GOMAXPROCS). Like Workers it never changes rendered output —
+	// shard layout is an execution knob, not a semantic one.
+	StepShards int
 	// Workers bounds the sweep scheduler's concurrency: every experiment
 	// fans its independent (algorithm, graph, seed) run points across this
 	// many goroutines. 0 means runtime.GOMAXPROCS. Worker count never
@@ -101,6 +105,7 @@ func All() []Experiment {
 		{"fig1", "Figure 1", "segment lengths log^(i) n and per-segment schedule", runFig1},
 		{"ring-reference", "§2 context [12]", "leader election: O(log n) avg commitment vs Θ(n) worst; ring 3-coloring: log* both", runRingReference},
 		{"backends", "engine core (DESIGN.md §1)", "all backends agree on every measure; pool and step cut per-round cost", runBackends},
+		{"multicore", "staged lanes (DESIGN.md §9)", "step backend scales with workers; Results byte-identical at every GOMAXPROCS", runMulticore},
 		{"faults", "fault model (DESIGN.md §8)", "degradation is graceful and deterministic: losses and crashes raise rounds and conflicts smoothly", runFaults},
 		{"ablation-eps", "design choice (§6.1)", "eps trades the palette factor A=(2+eps)a against decay speed", runAblationEps},
 		{"ablation-k", "design choice (§7.5)", "k trades colors against vertex-averaged rounds", runAblationK},

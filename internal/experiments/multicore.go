@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"vavg"
+	"vavg/internal/metrics"
+)
+
+// MulticorePoint is one (GOMAXPROCS, algorithm) measurement of the
+// staged-lane step backend's worker scaling: the same shard layout run
+// at different worker counts. The LOCAL-model accounting (rounds, round
+// sum) must be byte-identical across the procs axis — worker count is
+// execution layout, not semantics — so only the wall-clock columns may
+// differ between rows of one cell.
+type MulticorePoint struct {
+	// Procs is the GOMAXPROCS the run executed under; Shards is the fixed
+	// StepShards lane layout shared by every row of the cell, so the procs
+	// axis varies worker parallelism and nothing else.
+	Procs            int     `json:"procs"`
+	Shards           int     `json:"shards"`
+	Algorithm        string  `json:"algorithm"`
+	Family           string  `json:"family"`
+	N                int     `json:"n"`
+	TotalRounds      int     `json:"totalRounds"`
+	RoundSum         int64   `json:"roundSum"`
+	WallMs           float64 `json:"wallMs"`
+	NsPerVertexRound float64 `json:"nsPerVertexRound"`
+	Allocs           uint64  `json:"allocs"`
+	// Speedup is the procs=1 wall time of the same (algorithm, family, n)
+	// cell divided by this row's wall time: >1 means the staged lanes
+	// turned extra cores into throughput, ≈1 is expected on single-core
+	// hosts (the rows are still worth committing there — they pin the
+	// oversubscription overhead near zero).
+	Speedup float64 `json:"speedup"`
+}
+
+// multicoreProcs is the GOMAXPROCS axis of the scaling benchmark.
+var multicoreProcs = []int{1, 4, 8}
+
+// RunMulticoreBench measures the step backend's worker scaling on the
+// forest-union workhorse at the largest configured size (the roadmap's
+// million-vertex point in a full regeneration). Every row of a cell uses
+// the same shard count — cfg.StepShards, or the widest procs point when
+// unset — so the procs axis varies only how many workers drive the
+// lanes; rounds and round sums must agree across the axis and the run
+// fails loudly if they do not.
+func RunMulticoreBench(cfg Config) ([]MulticorePoint, error) {
+	cfg = cfg.withDefaults()
+	seed := cfg.Seeds[0]
+	n := cfg.Sizes[len(cfg.Sizes)-1]
+	shards := cfg.StepShards
+	if shards == 0 {
+		shards = multicoreProcs[len(multicoreProcs)-1]
+	}
+	fam := backendFamilies[1] // forests: the million-vertex workhorse
+	g := cachedGraph(fmt.Sprintf("%s|n=%d", fam.Name, n), func() *vavg.Graph { return fam.Gen(n) })
+	var out []MulticorePoint
+	for _, name := range backendAlgs {
+		alg, err := vavg.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var base MulticorePoint
+		for _, procs := range multicoreProcs {
+			old := runtime.GOMAXPROCS(procs)
+			pt, err := measureBackend(alg, g, fam.Name, fam.A, "step", seed, shards)
+			runtime.GOMAXPROCS(old)
+			if err != nil {
+				return nil, fmt.Errorf("multicore: %s procs=%d: %w", name, procs, err)
+			}
+			mp := MulticorePoint{
+				Procs: procs, Shards: shards, Algorithm: name, Family: fam.Name,
+				N: pt.N, TotalRounds: pt.TotalRounds, RoundSum: pt.RoundSum,
+				WallMs: pt.WallMs, NsPerVertexRound: pt.NsPerVertexRound,
+				Allocs: pt.Allocs, Speedup: 1,
+			}
+			if procs == multicoreProcs[0] {
+				base = mp
+			} else {
+				if mp.TotalRounds != base.TotalRounds || mp.RoundSum != base.RoundSum {
+					return nil, fmt.Errorf("multicore: %s procs=%d accounting (%d rounds, %d roundSum) differs from procs=%d (%d, %d); worker count changed a Result",
+						name, procs, mp.TotalRounds, mp.RoundSum, base.Procs, base.TotalRounds, base.RoundSum)
+				}
+				if mp.WallMs > 0 {
+					mp.Speedup = base.WallMs / mp.WallMs
+				}
+			}
+			out = append(out, mp)
+		}
+	}
+	return out, nil
+}
+
+// runMulticore renders the worker-scaling table (or raw JSON points
+// under cfg.JSON).
+func runMulticore(cfg Config) error {
+	cfg = cfg.withDefaults()
+	points, err := RunMulticoreBench(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.JSON {
+		bench := &BackendBench{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU: runtime.NumCPU(), Multicore: points}
+		return bench.WriteJSON(cfg.W)
+	}
+	fmt.Fprintf(cfg.W, "step backend worker scaling (%d CPUs, %d shards):\n", runtime.NumCPU(), points[0].Shards)
+	var rows [][]string
+	for _, pt := range points {
+		rows = append(rows, []string{
+			metrics.I(pt.Procs), pt.Algorithm, pt.Family, metrics.I(pt.N),
+			metrics.I(pt.TotalRounds), fmt.Sprintf("%.1f", pt.WallMs),
+			fmt.Sprintf("%.0f", pt.NsPerVertexRound), fmt.Sprintf("%.2fx", pt.Speedup),
+		})
+	}
+	metrics.Table(cfg.W, []string{"procs", "algorithm", "family", "n",
+		"rounds", "wall ms", "ns/vertex-round", "speedup"}, rows)
+	return nil
+}

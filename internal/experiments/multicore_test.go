@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMulticoreBench runs the worker-scaling matrix at quick sizes and
+// checks its structural contract: one point per (algorithm, procs) cell,
+// byte-identical LOCAL accounting down the procs axis, a unit-speedup
+// serial baseline, and positive wall/speedup columns everywhere.
+func TestMulticoreBench(t *testing.T) {
+	points, err := RunMulticoreBench(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(backendAlgs) * len(multicoreProcs); len(points) != want {
+		t.Fatalf("got %d points, want %d", len(points), want)
+	}
+	byAlg := map[string][]MulticorePoint{}
+	for _, pt := range points {
+		if pt.WallMs <= 0 || pt.Speedup <= 0 {
+			t.Errorf("%s procs=%d: non-positive wall %v / speedup %v", pt.Algorithm, pt.Procs, pt.WallMs, pt.Speedup)
+		}
+		if pt.Shards != points[0].Shards {
+			t.Errorf("%s procs=%d: shards %d, want the fixed layout %d", pt.Algorithm, pt.Procs, pt.Shards, points[0].Shards)
+		}
+		byAlg[pt.Algorithm] = append(byAlg[pt.Algorithm], pt)
+	}
+	for _, alg := range backendAlgs {
+		pts := byAlg[alg]
+		base := pts[0]
+		if base.Procs != 1 || base.Speedup != 1 {
+			t.Errorf("%s: first row = procs %d speedup %v, want the serial baseline", alg, base.Procs, base.Speedup)
+		}
+		for _, pt := range pts[1:] {
+			if pt.TotalRounds != base.TotalRounds || pt.RoundSum != base.RoundSum {
+				t.Errorf("%s procs=%d: accounting (%d, %d) differs from serial (%d, %d)",
+					alg, pt.Procs, pt.TotalRounds, pt.RoundSum, base.TotalRounds, base.RoundSum)
+			}
+		}
+	}
+}
+
+// TestCompareBenchesMulticore pins the gate's handling of the scaling
+// rows: matched multicore cells diff like backend points (wall growth
+// past the threshold regresses), and a baseline that predates the
+// multicore matrix reports the new rows as unmatched without failing.
+func TestCompareBenchesMulticore(t *testing.T) {
+	mp := func(procs int, wall float64) MulticorePoint {
+		return MulticorePoint{Procs: procs, Shards: 8, Algorithm: "ka2", Family: "forests",
+			N: 1024, WallMs: wall, Allocs: 1000}
+	}
+	bp := BackendPoint{Backend: "step", Algorithm: "ka2", Family: "forests", N: 1024, WallMs: 10, Allocs: 1000}
+	old := &BackendBench{Points: []BackendPoint{bp}, Multicore: []MulticorePoint{mp(1, 10), mp(4, 5)}}
+	fresh := &BackendBench{Points: []BackendPoint{bp}, Multicore: []MulticorePoint{mp(1, 10), mp(4, 9)}}
+	rep := CompareBenches(old, fresh, 25)
+	if rep.Regressions != 1 {
+		t.Fatalf("Regressions = %d, want 1 (procs=4 wall +80%%)", rep.Regressions)
+	}
+	for _, d := range rep.Deltas {
+		if wantReg := d.Backend == "step@4procs"; d.Regressed != wantReg {
+			t.Errorf("%s: Regressed = %v, want %v", d.Backend, d.Regressed, wantReg)
+		}
+	}
+
+	// Pre-multicore baseline: the new rows must be reported, not gated.
+	pre := &BackendBench{Points: []BackendPoint{bp}}
+	rep = CompareBenches(pre, fresh, 25)
+	if rep.Regressions != 0 {
+		t.Fatalf("pre-multicore baseline regressed: %+v", rep.Deltas)
+	}
+	if len(rep.Unmatched) != 2 {
+		t.Fatalf("Unmatched = %v, want the two multicore rows", rep.Unmatched)
+	}
+	for _, u := range rep.Unmatched {
+		if !strings.Contains(u, "procs") || !strings.Contains(u, "only in new run") {
+			t.Errorf("unexpected unmatched entry %q", u)
+		}
+	}
+}

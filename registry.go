@@ -236,6 +236,9 @@ var registry = []Algorithm{
 		program: func(p Params) engine.Program {
 			return arbdefect.OnePlusEta(p.Arboricity, p.Eps, p.C)
 		},
+		step: func(p Params) engine.StepProgram {
+			return arbdefect.OnePlusEtaStep(p.Arboricity, p.Eps, p.C)
+		},
 	},
 	{
 		Name:           "legal-coloring-wc",
@@ -251,6 +254,9 @@ var registry = []Algorithm{
 		program: func(p Params) engine.Program {
 			return arbdefect.LegalColoringWC(p.Arboricity, p.Eps, p.C)
 		},
+		step: func(p Params) engine.StepProgram {
+			return arbdefect.LegalColoringWCStep(p.Arboricity, p.Eps, p.C)
+		},
 	},
 	{
 		Name:           "deltaplus1-det",
@@ -262,6 +268,9 @@ var registry = []Algorithm{
 		ColorBound:     "Δ+1",
 		program: func(p Params) engine.Program {
 			return extend.DeltaPlus1(p.Arboricity, p.Eps)
+		},
+		step: func(p Params) engine.StepProgram {
+			return extend.DeltaPlus1Step(p.Arboricity, p.Eps)
 		},
 	},
 	{
@@ -307,6 +316,9 @@ var registry = []Algorithm{
 		program: func(p Params) engine.Program {
 			return extend.MIS(p.Arboricity, p.Eps)
 		},
+		step: func(p Params) engine.StepProgram {
+			return extend.MISStep(p.Arboricity, p.Eps)
+		},
 	},
 	{
 		Name:           "mis-wc",
@@ -347,6 +359,9 @@ var registry = []Algorithm{
 		program: func(p Params) engine.Program {
 			return extend.EdgeColoring(p.Arboricity, p.Eps)
 		},
+		step: func(p Params) engine.StepProgram {
+			return extend.EdgeColoringStep(p.Arboricity, p.Eps)
+		},
 	},
 	{
 		Name:           "matching",
@@ -357,6 +372,9 @@ var registry = []Algorithm{
 		VertexAvgBound: "O(a + log* n)",
 		program: func(p Params) engine.Program {
 			return extend.MaximalMatching(p.Arboricity, p.Eps)
+		},
+		step: func(p Params) engine.StepProgram {
+			return extend.MaximalMatchingStep(p.Arboricity, p.Eps)
 		},
 	},
 	{

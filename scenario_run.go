@@ -34,7 +34,7 @@ func (alg Algorithm) runScenario(g *Graph, p Params) (Report, error) {
 		eng.Step = alg.step(p)
 	}
 	res, err := engine.RunSpec(g, eng, engine.Options{
-		Seed: p.Seed, MaxRounds: p.MaxRounds, Backend: p.Backend, Adv: adv,
+		Seed: p.Seed, MaxRounds: p.MaxRounds, Backend: p.Backend, Adv: adv, StepShards: p.StepShards,
 	})
 	converged := true
 	if err != nil {
@@ -118,7 +118,7 @@ func repairEpoch(alg Algorithm, cur *Graph, p Params, spec *scenario.Spec, i int
 		}
 	}
 	rres, err := engine.RunSpec(cur, engine.Spec{Program: base}, engine.Options{
-		Seed: epochSeed, MaxRounds: repairBudget(res.TotalRounds), Backend: p.Backend, Adv: radv,
+		Seed: epochSeed, MaxRounds: repairBudget(res.TotalRounds), Backend: p.Backend, Adv: radv, StepShards: p.StepShards,
 	})
 	if rres == nil {
 		return false

@@ -95,6 +95,12 @@ type Params struct {
 	// identical results on all of them; see engine.Backends for the
 	// registered names.
 	Backend string
+	// StepShards fixes the step backend's shard count regardless of
+	// GOMAXPROCS (0 means one shard per core at run start). Results are
+	// invariant in both the shard and the worker count; pinning the value
+	// reproduces the same shard layout on any machine. Ignored by the
+	// other backends.
+	StepShards int
 	// SweepWorkers bounds the sweep scheduler's concurrency: Sweep fans
 	// its (size, seed) run points across this many goroutines. 0 means
 	// runtime.GOMAXPROCS. Worker count never changes results — parallel
@@ -188,7 +194,7 @@ func (alg Algorithm) Run(g *Graph, p Params) (Report, error) {
 	if alg.step != nil {
 		spec.Step = alg.step(p)
 	}
-	res, err := engine.RunSpec(g, spec, engine.Options{Seed: p.Seed, MaxRounds: p.MaxRounds, Backend: p.Backend})
+	res, err := engine.RunSpec(g, spec, engine.Options{Seed: p.Seed, MaxRounds: p.MaxRounds, Backend: p.Backend, StepShards: p.StepShards})
 	if err != nil {
 		return Report{}, fmt.Errorf("vavg: %s on %s: %w", alg.Name, g.Name, err)
 	}
