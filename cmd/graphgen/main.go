@@ -1,34 +1,37 @@
 // Command graphgen generates the library's graph families and reports
 // their structural parameters (degeneracy, Nash-Williams bound, degrees,
-// components), optionally emitting the edge list.
+// components), optionally emitting the edge list or a binary CSR file.
 //
 // Usage:
 //
 //	graphgen -graph forests -n 1000 -a 4
 //	graphgen -graph trigrid -n 400 -edges > edges.txt
+//	graphgen -graph forests -n 1000000 -out forests.csr -compress
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
-	"math"
 	"os"
+	"strings"
 
 	"vavg/internal/graph"
 )
 
 func main() {
 	var (
-		family = flag.String("graph", "forests", "family: forests|ring|path|star|starforest|bintree|tree|grid|trigrid|gnm|clique|cliqueforest|hypercube|caterpillar")
-		n      = flag.Int("n", 1024, "number of vertices")
-		a      = flag.Int("a", 3, "density parameter where applicable")
-		seed   = flag.Int64("seed", 1, "generator seed")
-		edges  = flag.Bool("edges", false, "emit the edge list to stdout")
+		family   = flag.String("graph", "forests", "family: "+strings.Join(graph.Families, "|"))
+		n        = flag.Int("n", 1024, "number of vertices")
+		a        = flag.Int("a", 3, "density parameter where applicable")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		edges    = flag.Bool("edges", false, "emit the edge list to stdout")
+		out      = flag.String("out", "", "write the graph as a binary CSR file to this path")
+		compress = flag.Bool("compress", false, "with -out: delta-varint compress the stored sections")
 	)
 	flag.Parse()
 
-	g, err := make(*family, *n, *a, *seed)
+	g, err := graph.MakeFamily(*family, *n, *a, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
@@ -44,6 +47,19 @@ func main() {
 	fmt.Fprintf(os.Stderr, "arbor bound:   %d (certified by generator)\n", g.ArborBound)
 	fmt.Fprintf(os.Stderr, "components:    %d\n", comps)
 
+	if *out != "" {
+		if err := graph.WriteCSRFile(*out, g, *compress); err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		st, err := os.Stat(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote:         %s (%d bytes)\n", *out, st.Size())
+	}
+
 	if *edges {
 		w := bufio.NewWriter(os.Stdout)
 		defer w.Flush()
@@ -51,53 +67,4 @@ func main() {
 			fmt.Fprintf(w, "%d %d\n", e.U, e.V)
 		}
 	}
-}
-
-func make(family string, n, a int, seed int64) (*graph.Graph, error) {
-	switch family {
-	case "forests":
-		return graph.ForestUnion(n, a, seed), nil
-	case "ring":
-		return graph.Ring(n), nil
-	case "path":
-		return graph.Path(n), nil
-	case "star":
-		return graph.Star(n), nil
-	case "starforest":
-		return graph.StarForest(n, a*8), nil
-	case "bintree":
-		return graph.CompleteBinaryTree(n), nil
-	case "tree":
-		return graph.RandomTree(n, seed), nil
-	case "grid":
-		s := side(n)
-		return graph.Grid(s, s), nil
-	case "trigrid":
-		s := side(n)
-		return graph.TriangulatedGrid(s, s), nil
-	case "gnm":
-		return graph.Gnm(n, a*n, seed), nil
-	case "clique":
-		return graph.Clique(n), nil
-	case "cliqueforest":
-		return graph.CliquePlusForest(n, a*4, seed), nil
-	case "hypercube":
-		d := 1
-		for 1<<d < n {
-			d++
-		}
-		return graph.Hypercube(d), nil
-	case "caterpillar":
-		return graph.Caterpillar(n), nil
-	default:
-		return nil, fmt.Errorf("unknown graph family %q", family)
-	}
-}
-
-func side(n int) int {
-	s := int(math.Sqrt(float64(n)))
-	if s < 2 {
-		return 2
-	}
-	return s
 }

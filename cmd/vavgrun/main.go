@@ -1,12 +1,13 @@
 // Command vavgrun executes a single algorithm from the registry on a
-// generated graph, validates the output, and reports the vertex-averaged
-// measures.
+// generated graph (or a graph file built by vavggraph), validates the
+// output, and reports the vertex-averaged measures.
 //
 // Usage:
 //
 //	vavgrun -list
 //	vavgrun -alg mis -graph forests -n 10000 -a 3
 //	vavgrun -alg ka -graph trigrid -n 10000 -k 4 -decay
+//	vavgrun -alg partition -graph file:forests.csr
 package main
 
 import (
@@ -29,8 +30,8 @@ func main() {
 	var (
 		list    = flag.Bool("list", false, "list algorithms and exit")
 		algIn   = flag.String("alg", "forest-decomp", "algorithm name")
-		family  = flag.String("graph", "forests", "graph family: forests|ring|star|starforest|grid|trigrid|tree|gnm|clique|hypercube")
-		n       = flag.Int("n", 4096, "number of vertices")
+		family  = flag.String("graph", "forests", "graph family ("+strings.Join(vavg.GraphFamilies, "|")+") or file:PATH for a CSR file built by vavggraph")
+		n       = flag.Int("n", 4096, "number of vertices (ignored for file: graphs)")
 		a       = flag.Int("a", 3, "arboricity parameter (and generator density)")
 		k       = flag.Int("k", 2, "segment count for the §7.5 scheme")
 		c       = flag.Int("c", 4, "constant C for §7.8")
@@ -94,6 +95,9 @@ func main() {
 
 	fmt.Printf("algorithm:     %s (%s, %s)\n", alg.Name, alg.Paper, alg.Description)
 	fmt.Printf("graph:         %s  n=%d m=%d a<=%d Δ=%d\n", g.Name, g.N(), g.M(), rep.Arbor, g.MaxDegree())
+	if mb := g.MappedBytes(); mb > 0 {
+		fmt.Printf("mapped:        %d bytes (read-only file mapping)\n", mb)
+	}
 	fmt.Printf("vertex-avg:    %.3f rounds   (bound: %s)\n", rep.VertexAvg, alg.VertexAvgBound)
 	fmt.Printf("worst-case:    %d rounds\n", rep.WorstCase)
 	fmt.Printf("round sum:     %d   messages: %d\n", rep.RoundSum, rep.Messages)
@@ -139,20 +143,20 @@ func main() {
 // JSON suitable for plotting.
 func runSweep(alg vavg.Algorithm, family, sizesArg, format string, a int, eps float64, k, c int, seed int64, backend string, shards, workers int, sc *vavg.Scenario) error {
 	var sizes []int
-	for _, part := range strings.Split(sizesArg, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return fmt.Errorf("bad sweep sizes %q: %w", sizesArg, err)
+	gen := graphSource(family, a, seed)
+	if strings.HasPrefix(family, "file:") && sizesArg == "file" {
+		// `-sweep file` sweeps a file-backed graph at its one native size
+		// without the caller having to know it.
+		sizes = []int{gen(0).N()}
+	} else {
+		for _, part := range strings.Split(sizesArg, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad sweep sizes %q: %w", sizesArg, err)
+			}
+			sizes = append(sizes, v)
 		}
-		sizes = append(sizes, v)
 	}
-	gen := vavg.CachedGen(fmt.Sprintf("%s|a=%d|seed=%d", family, a, seed), func(n int) *vavg.Graph {
-		g, err := makeGraph(family, n, a, seed)
-		if err != nil {
-			panic(err)
-		}
-		return g
-	})
 	res, err := vavg.Sweep(alg, gen, sizes, nil, vavg.Params{Arboricity: a, Eps: eps, K: k, C: c, Backend: backend, StepShards: shards, SweepWorkers: workers, Scenario: sc})
 	if err != nil {
 		return err
@@ -165,45 +169,26 @@ func runSweep(alg vavg.Algorithm, family, sizesArg, format string, a int, eps fl
 	return res.WriteCSV(os.Stdout)
 }
 
-func makeGraph(family string, n, a int, seed int64) (*vavg.Graph, error) {
-	switch family {
-	case "forests":
-		return vavg.ForestUnion(n, a, seed), nil
-	case "ring":
-		return vavg.Ring(n), nil
-	case "star":
-		return vavg.Star(n), nil
-	case "starforest":
-		return vavg.StarForest(n, 16), nil
-	case "grid":
-		side := isqrt(n)
-		return vavg.Grid(side, side), nil
-	case "trigrid":
-		side := isqrt(n)
-		return vavg.TriangulatedGrid(side, side), nil
-	case "tree":
-		return vavg.RandomTree(n, seed), nil
-	case "gnm":
-		return vavg.Gnm(n, a*n, seed), nil
-	case "clique":
-		return vavg.Clique(n), nil
-	case "hypercube":
-		d := 1
-		for 1<<d < n {
-			d++
-		}
-		return vavg.Hypercube(d), nil
-	default:
-		return nil, fmt.Errorf("unknown graph family %q", family)
+// graphSource resolves -graph into a size-indexed source: a shared-cache
+// generator for family names, a shared-mapping file load for file:PATH.
+func graphSource(family string, a int, seed int64) func(n int) *vavg.Graph {
+	if path, ok := strings.CutPrefix(family, "file:"); ok {
+		return vavg.FileGen(path)
 	}
+	return vavg.CachedGen(family, func(n int) *vavg.Graph {
+		g, err := vavg.MakeFamily(family, n, a, seed)
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}, "a", a, "seed", seed)
 }
 
-func isqrt(n int) int {
-	s := int(math.Sqrt(float64(n)))
-	if s < 2 {
-		return 2
+func makeGraph(family string, n, a int, seed int64) (*vavg.Graph, error) {
+	if path, ok := strings.CutPrefix(family, "file:"); ok {
+		return vavg.LoadGraph(path)
 	}
-	return s
+	return vavg.MakeFamily(family, n, a, seed)
 }
 
 func fatal(err error) {

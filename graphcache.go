@@ -14,18 +14,48 @@ import (
 var sharedGraphs = graph.NewCache()
 
 // CachedGen wraps a size-indexed graph generator with the shared
-// read-only graph cache, for use with Sweep. The key must uniquely
-// identify the generator and every parameter that shapes its output
-// besides n — family, arboricity, generator seed — because two generators
-// wrapped with the same key share cache entries. Cached graphs are
-// served to concurrent runs and must never be mutated.
+// read-only graph cache, for use with Sweep. The family name plus the
+// name/value params must uniquely identify the generator and every
+// parameter that shapes its output besides n — arboricity, generator
+// seed — because two generators wrapped with the same identity share
+// cache entries. Keys are composed by graph.CacheKey, the one canonical
+// spelling, so generated and file-backed graphs (FileGen) can never
+// collide. Cached graphs are served to concurrent runs and must never be
+// mutated.
 //
-//	gen := vavg.CachedGen("forests|a=3|seed=7", func(n int) *vavg.Graph {
+//	gen := vavg.CachedGen("forests", func(n int) *vavg.Graph {
 //		return vavg.ForestUnion(n, 3, 7)
-//	})
-func CachedGen(key string, gen func(n int) *Graph) func(n int) *Graph {
+//	}, "a", 3, "seed", 7)
+func CachedGen(family string, gen func(n int) *Graph, params ...any) func(n int) *Graph {
 	return func(n int) *Graph {
-		return sharedGraphs.Get(fmt.Sprintf("%s|n=%d", key, n), func() *Graph { return gen(n) })
+		return sharedGraphs.Get(graph.CacheKey(family, n, params...), func() *Graph { return gen(n) })
+	}
+}
+
+// FileGen returns a size-indexed graph source backed by a binary CSR
+// file (see WriteGraphFile), for use with Sweep anywhere a generator is
+// expected. The file is loaded once — raw-layout files as one shared
+// read-only mapping — and every sweep worker, algorithm, and backend run
+// shares the same *Graph. A nonzero requested n must match the file's
+// vertex count; a file source has exactly one size, so Sweep over it
+// uses Sizes = []int{g.N()} (or 0 to skip the check).
+//
+// Load failures panic: a sweep's graph source is configuration, and a
+// missing or corrupt file should stop the run at the first size, not be
+// silently skipped.
+func FileGen(path string) func(n int) *Graph {
+	return func(n int) *Graph {
+		g := sharedGraphs.Get(graph.FileKey(path), func() *Graph {
+			g, err := graph.LoadCSR(path)
+			if err != nil {
+				panic(fmt.Sprintf("vavg: graph file %s: %v", path, err))
+			}
+			return g
+		})
+		if n != 0 && g.N() != n {
+			panic(fmt.Sprintf("vavg: graph file %s has n=%d, run requested n=%d", path, g.N(), n))
+		}
+		return g
 	}
 }
 

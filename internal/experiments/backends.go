@@ -9,6 +9,7 @@ import (
 
 	"vavg"
 	"vavg/internal/engine"
+	"vavg/internal/graph"
 	"vavg/internal/metrics"
 	"vavg/internal/parallel"
 )
@@ -30,6 +31,17 @@ type BackendPoint struct {
 	NsPerRound       float64 `json:"nsPerRound"`
 	NsPerVertexRound float64 `json:"nsPerVertexRound"`
 	PeakBytes        uint64  `json:"peakBytes"`
+	// PeakRSSBytes is the kernel's peak-resident watermark across the run
+	// (VmHWM, reset per measurement where the host allows), the
+	// memory-budget column of the out-of-core push: unlike PeakBytes it
+	// includes pages faulted in through file mappings. 0 on hosts without
+	// procfs and in baselines that predate the column.
+	PeakRSSBytes uint64 `json:"peakRSSBytes,omitempty"`
+	// MappedBytes is the size of the read-only file mapping backing the
+	// run's graph, 0 for heap-resident graphs. Mapped pages are shared and
+	// reclaimable; heap pages are neither, which is why the two are
+	// reported separately.
+	MappedBytes uint64 `json:"mappedBytes,omitempty"`
 	// Allocs is the total heap allocation count of the run (Mallocs
 	// delta); AllocsPerVertexRound divides it by RoundSum. A near-zero
 	// per-vertex-round figure is the zero-allocation message path working:
@@ -61,6 +73,12 @@ type BackendBench struct {
 	// workers. Absent in baselines generated before the staged-lane
 	// backend; the compare gate treats the missing column as zero points.
 	Multicore []MulticorePoint `json:"multicore,omitempty"`
+	// OutOfCore is the file-backed graph matrix (see outofcore.go): the
+	// same run measured from a generated graph and from an mmap'd CSR
+	// file, with the memory-budget columns populated. Absent in baselines
+	// generated before the out-of-core store existed; the compare gate
+	// treats the missing column as zero points.
+	OutOfCore []OutOfCorePoint `json:"outOfCore,omitempty"`
 }
 
 // SweepTiming is one wall-clock measurement of the whole benchmark matrix
@@ -103,7 +121,7 @@ func RunBackendBench(cfg Config) (*BackendBench, error) {
 	bench := &BackendBench{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	for _, fam := range backendFamilies {
 		for _, n := range cfg.Sizes {
-			g := cachedGraph(fmt.Sprintf("%s|n=%d", fam.Name, n), func() *vavg.Graph { return fam.Gen(n) })
+			g := cachedGraph(graph.CacheKey(fam.Name, n), func() *vavg.Graph { return fam.Gen(n) })
 			for _, name := range backendAlgs {
 				alg, err := vavg.ByName(name)
 				if err != nil {
@@ -129,6 +147,9 @@ func RunBackendBench(cfg Config) (*BackendBench, error) {
 	if bench.Faults, err = RunFaultsBench(cfg); err != nil {
 		return nil, err
 	}
+	if bench.OutOfCore, err = RunOutOfCoreBench(cfg); err != nil {
+		return nil, err
+	}
 	return bench, nil
 }
 
@@ -140,7 +161,7 @@ func sweepMatrix(cfg Config) ([]runPoint, error) {
 	var points []runPoint
 	for _, fam := range backendFamilies {
 		for _, n := range cfg.Sizes {
-			g := cachedGraph(fmt.Sprintf("%s|n=%d", fam.Name, n), func() *vavg.Graph { return fam.Gen(n) })
+			g := cachedGraph(graph.CacheKey(fam.Name, n), func() *vavg.Graph { return fam.Gen(n) })
 			for _, name := range backendAlgs {
 				alg, err := vavg.ByName(name)
 				if err != nil {
@@ -201,6 +222,7 @@ func measureSweepTimings(cfg Config) ([]SweepTiming, error) {
 // capture the peak footprint (goroutine stacks dominate at large n).
 func measureBackend(alg vavg.Algorithm, g *vavg.Graph, family string, a int, backend string, seed int64, stepShards int) (BackendPoint, error) {
 	runtime.GC()
+	resetPeakRSS()
 	stop := make(chan struct{})
 	peakCh := make(chan uint64, 1)
 	go func() {
@@ -236,17 +258,19 @@ func measureBackend(alg vavg.Algorithm, g *vavg.Graph, family string, a int, bac
 		return BackendPoint{}, err
 	}
 	pt := BackendPoint{
-		Backend:     backend,
-		Algorithm:   alg.Name,
-		Family:      family,
-		N:           g.N(),
-		M:           g.M(),
-		TotalRounds: rep.WorstCase,
-		RoundSum:    rep.RoundSum,
-		VertexAvg:   rep.VertexAvg,
-		WallMs:      float64(wall.Nanoseconds()) / 1e6,
-		PeakBytes:   peak,
-		Allocs:      ms.Mallocs - startMallocs,
+		Backend:      backend,
+		Algorithm:    alg.Name,
+		Family:       family,
+		N:            g.N(),
+		M:            g.M(),
+		TotalRounds:  rep.WorstCase,
+		RoundSum:     rep.RoundSum,
+		VertexAvg:    rep.VertexAvg,
+		WallMs:       float64(wall.Nanoseconds()) / 1e6,
+		PeakBytes:    peak,
+		PeakRSSBytes: readPeakRSSBytes(),
+		MappedBytes:  g.MappedBytes(),
+		Allocs:       ms.Mallocs - startMallocs,
 	}
 	if rep.WorstCase > 0 {
 		pt.NsPerRound = float64(wall.Nanoseconds()) / float64(rep.WorstCase)

@@ -83,6 +83,13 @@ func comparePoints(b *BackendBench) []BackendPoint {
 			WallMs: mp.WallMs, Allocs: mp.Allocs,
 		})
 	}
+	for _, op := range b.OutOfCore {
+		points = append(points, BackendPoint{
+			Backend:   "outofcore-" + op.Source,
+			Algorithm: op.Algorithm, Family: op.Family, N: op.N,
+			WallMs: op.WallMs, Allocs: op.Allocs,
+		})
+	}
 	return points
 }
 

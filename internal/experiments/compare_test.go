@@ -103,13 +103,25 @@ func TestLoadBenchColumnTolerance(t *testing.T) {
 			{Backend: "step", Algorithm: "partition", Family: "ring", N: 1024, WallMs: 11, Allocs: 4096, PeakBytes: 1 << 20},
 		},
 		Faults: []FaultPoint{{Algorithm: "partition", N: 1024, Drop: 0.25, Converged: true}},
+		// New matrices and memory columns the baseline predates: folded
+		// into the keyed diff as unmatched, never as failures.
+		OutOfCore: []OutOfCorePoint{
+			{Source: "ram", Backend: "step", Algorithm: "partition", Family: "ring", N: 1024, WallMs: 9},
+			{Source: "file", Backend: "step", Algorithm: "partition", Family: "ring", N: 1024, WallMs: 9, MappedBytes: 1 << 20, PeakRSSBytes: 1 << 21},
+		},
 	}
+	fresh.Points[0].PeakRSSBytes = 1 << 21
 	rep := CompareBenches(base, fresh, 25)
 	if rep.Regressions != 0 {
 		t.Errorf("column-added bench regressed against old baseline: %+v", rep.Deltas)
 	}
-	if len(rep.Deltas) != 2 || len(rep.Unmatched) != 0 {
-		t.Errorf("got %d deltas / %d unmatched, want 2 / 0", len(rep.Deltas), len(rep.Unmatched))
+	if len(rep.Deltas) != 2 || len(rep.Unmatched) != 2 {
+		t.Errorf("got %d deltas / %d unmatched, want 2 / 2", len(rep.Deltas), len(rep.Unmatched))
+	}
+	for _, u := range rep.Unmatched {
+		if !strings.Contains(u, "outofcore-") || !strings.Contains(u, "only in new run") {
+			t.Errorf("unexpected unmatched entry %q", u)
+		}
 	}
 
 	// Degenerate baselines are rejected, not silently diffed against.

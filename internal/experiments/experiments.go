@@ -107,6 +107,7 @@ func All() []Experiment {
 		{"backends", "engine core (DESIGN.md §1)", "all backends agree on every measure; pool and step cut per-round cost", runBackends},
 		{"multicore", "staged lanes (DESIGN.md §9)", "step backend scales with workers; Results byte-identical at every GOMAXPROCS", runMulticore},
 		{"faults", "fault model (DESIGN.md §8)", "degradation is graceful and deterministic: losses and crashes raise rounds and conflicts smoothly", runFaults},
+		{"outofcore", "out-of-core store (DESIGN.md §10)", "mmap'd CSR files run byte-identical to generated graphs; memory-budget columns show what the mapping buys", runOutOfCore},
 		{"ablation-eps", "design choice (§6.1)", "eps trades the palette factor A=(2+eps)a against decay speed", runAblationEps},
 		{"ablation-k", "design choice (§7.5)", "k trades colors against vertex-averaged rounds", runAblationK},
 		{"table1", "Table 1 (summary)", "all vertex-coloring rows at one size", runTable1},
@@ -139,7 +140,7 @@ func cachedGraph(key string, gen func() *vavg.Graph) *vavg.Graph {
 
 // forestCached is the cache entry point for the workhorse family.
 func forestCached(n, a int, seed int64) *vavg.Graph {
-	return cachedGraph(fmt.Sprintf("forests|n=%d|a=%d|seed=%d", n, a, seed),
+	return cachedGraph(graph.CacheKey("forests", n, "a", a, "seed", seed),
 		func() *vavg.Graph { return vavg.ForestUnion(n, a, seed) })
 }
 
@@ -264,7 +265,7 @@ func runPartitionDecay(cfg Config) error {
 	fmt.Fprintln(cfg.W, "\nk-ary tree exhibit (a=1, eps=1, k=6 > A):")
 	var points []runPoint
 	for _, n := range cfg.Sizes {
-		kg := cachedGraph(fmt.Sprintf("karytree|n=%d|k=6", n),
+		kg := cachedGraph(graph.CacheKey("karytree", n, "k", 6),
 			func() *vavg.Graph { return vavg.KaryTree(n, 6) })
 		points = append(points, runPoint{alg, kg, vavg.Params{Arboricity: 1, Eps: 1}})
 	}
@@ -422,7 +423,7 @@ func runDP1Det(cfg Config) error {
 	}
 	var points []runPoint
 	for _, k := range deltas {
-		g := cachedGraph(fmt.Sprintf("starforest|n=%d|k=%d", n, k),
+		g := cachedGraph(graph.CacheKey("starforest", n, "k", k),
 			func() *vavg.Graph { return vavg.StarForest(n, k) })
 		points = append(points, runPoint{alg, g, vavg.Params{Arboricity: 2}})
 	}
@@ -506,7 +507,7 @@ func runRingReference(cfg Config) error {
 			fmt.Sprintf("log2 n = %.1f", math.Log2(float64(ln)))})
 
 		alg, _ := vavg.ByName("ring-3color")
-		ring := cachedGraph(fmt.Sprintf("ring|n=%d", n), func() *vavg.Graph { return vavg.Ring(n) })
+		ring := cachedGraph(graph.CacheKey("ring", n), func() *vavg.Graph { return vavg.Ring(n) })
 		r, err := cfg.medianRun(alg, ring, vavg.Params{Arboricity: 2})
 		if err != nil {
 			return err

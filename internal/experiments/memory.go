@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// readPeakRSSBytes returns the process's peak resident set size in bytes
+// (the VmHWM line of /proc/self/status), or 0 on hosts without procfs.
+// Unlike the runtime's HeapInuse+StackInuse sampling, the kernel's
+// watermark sees everything the process touched — including pages faulted
+// in through a read-only file mapping — which is exactly the number an
+// out-of-core run is trying to keep below the machine's RAM.
+func readPeakRSSBytes() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// resetPeakRSS resets the kernel's peak-RSS watermark (writing "5" to
+// /proc/self/clear_refs) so the next readPeakRSSBytes reflects only the
+// measured run, not whatever the process touched before it. Best-effort:
+// on hosts without the file the watermark stays cumulative, which only
+// ever over-reports.
+func resetPeakRSS() {
+	_ = os.WriteFile("/proc/self/clear_refs", []byte("5"), 0)
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"vavg"
+	"vavg/internal/graph"
 	"vavg/internal/metrics"
 )
 
@@ -55,7 +56,7 @@ func RunMulticoreBench(cfg Config) ([]MulticorePoint, error) {
 		shards = multicoreProcs[len(multicoreProcs)-1]
 	}
 	fam := backendFamilies[1] // forests: the million-vertex workhorse
-	g := cachedGraph(fmt.Sprintf("%s|n=%d", fam.Name, n), func() *vavg.Graph { return fam.Gen(n) })
+	g := cachedGraph(graph.CacheKey(fam.Name, n), func() *vavg.Graph { return fam.Gen(n) })
 	var out []MulticorePoint
 	for _, name := range backendAlgs {
 		alg, err := vavg.ByName(name)

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"vavg"
+	"vavg/internal/metrics"
+)
+
+// OutOfCorePoint is one measurement of the out-of-core matrix: the same
+// (algorithm, family, n, seed) run executed once from a generated
+// heap-resident graph (Source "ram") and once from an mmap'd binary CSR
+// file (Source "file"). The LOCAL-model accounting must be identical —
+// the store is a transport — so the pair isolates exactly what the file
+// path costs (LoadMs, the residual wall-clock delta) and what it buys
+// (MappedBytes shifted out of the private heap into shared, reclaimable
+// pages).
+type OutOfCorePoint struct {
+	Source      string  `json:"source"`
+	Backend     string  `json:"backend"`
+	Algorithm   string  `json:"algorithm"`
+	Family      string  `json:"family"`
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	TotalRounds int     `json:"totalRounds"`
+	RoundSum    int64   `json:"roundSum"`
+	WallMs      float64 `json:"wallMs"`
+	// LoadMs is the time from opening the CSR file to a validated,
+	// mapped *Graph (file rows only). Raw-layout loads are dominated by
+	// the O(n+m) structural validation pass, not I/O: the mapping itself
+	// is lazy.
+	LoadMs float64 `json:"loadMs,omitempty"`
+	// FileBytes is the on-disk size of the CSR file (file rows only).
+	FileBytes    int64  `json:"fileBytes,omitempty"`
+	PeakBytes    uint64 `json:"peakBytes"`
+	PeakRSSBytes uint64 `json:"peakRSSBytes,omitempty"`
+	MappedBytes  uint64 `json:"mappedBytes,omitempty"`
+	Allocs       uint64 `json:"allocs"`
+}
+
+// outOfCoreForestCap bounds the forest family in the out-of-core matrix.
+// Forest algorithms carry ~3 KB of engine state per vertex, so the
+// family's ceiling is engine memory, not graph storage; past the cap only
+// the lean ring family continues toward the 10^8 push.
+const outOfCoreForestCap = 20_000_000
+
+// outOfCoreAlg is the measured algorithm: partition is the paper's O(1)
+// vertex-averaged workhorse and the cheapest step-form state, which is
+// what makes the very largest sizes reachable at all.
+const outOfCoreAlg = "partition"
+
+// RunOutOfCoreBench measures the out-of-core matrix at the largest
+// configured size on the step backend: for ring and forest-union, one
+// run from the generated graph, then — with the generated copy released
+// — one run from a freshly written raw CSR file loaded as a shared
+// read-only mapping. It fails loudly if the two runs disagree on any
+// LOCAL-model measure.
+func RunOutOfCoreBench(cfg Config) ([]OutOfCorePoint, error) {
+	cfg = cfg.withDefaults()
+	seed := cfg.Seeds[0]
+	n := cfg.Sizes[len(cfg.Sizes)-1]
+	alg, err := vavg.ByName(outOfCoreAlg)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "vavg-outofcore-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var out []OutOfCorePoint
+	for _, fam := range backendFamilies {
+		famN := n
+		if fam.Name == "forests" && famN > outOfCoreForestCap {
+			famN = outOfCoreForestCap
+		}
+		g := fam.Gen(famN)
+
+		ramPt, err := measureBackend(alg, g, fam.Name, fam.A, "step", seed, cfg.StepShards)
+		if err != nil {
+			return nil, fmt.Errorf("outofcore: %s n=%d ram: %w", fam.Name, famN, err)
+		}
+		out = append(out, outOfCorePoint("ram", ramPt))
+
+		path := filepath.Join(dir, fmt.Sprintf("%s-%d.csr", fam.Name, famN))
+		if err := vavg.WriteGraphFile(path, g, false); err != nil {
+			return nil, fmt.Errorf("outofcore: %s n=%d write: %w", fam.Name, famN, err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		// Release the generated copy before loading, so the file row's
+		// memory columns measure the out-of-core configuration and not the
+		// generator's leftovers.
+		g = nil
+		runtime.GC()
+		loadStart := time.Now()
+		loaded, err := vavg.LoadGraph(path)
+		loadMs := float64(time.Since(loadStart).Nanoseconds()) / 1e6
+		if err != nil {
+			return nil, fmt.Errorf("outofcore: %s n=%d load: %w", fam.Name, famN, err)
+		}
+		filePt, err := measureBackend(alg, loaded, fam.Name, fam.A, "step", seed, cfg.StepShards)
+		if err != nil {
+			return nil, fmt.Errorf("outofcore: %s n=%d file: %w", fam.Name, famN, err)
+		}
+		if filePt.TotalRounds != ramPt.TotalRounds || filePt.RoundSum != ramPt.RoundSum ||
+			filePt.VertexAvg != ramPt.VertexAvg {
+			return nil, fmt.Errorf("outofcore: %s n=%d: file-backed accounting (%d rounds, %d roundSum) differs from generated (%d, %d); the store changed a Result",
+				fam.Name, famN, filePt.TotalRounds, filePt.RoundSum, ramPt.TotalRounds, ramPt.RoundSum)
+		}
+		fp := outOfCorePoint("file", filePt)
+		fp.LoadMs = loadMs
+		fp.FileBytes = st.Size()
+		out = append(out, fp)
+	}
+	return out, nil
+}
+
+func outOfCorePoint(source string, pt BackendPoint) OutOfCorePoint {
+	return OutOfCorePoint{
+		Source: source, Backend: pt.Backend, Algorithm: pt.Algorithm,
+		Family: pt.Family, N: pt.N, M: pt.M,
+		TotalRounds: pt.TotalRounds, RoundSum: pt.RoundSum,
+		WallMs: pt.WallMs, PeakBytes: pt.PeakBytes,
+		PeakRSSBytes: pt.PeakRSSBytes, MappedBytes: pt.MappedBytes,
+		Allocs: pt.Allocs,
+	}
+}
+
+// runOutOfCore renders the out-of-core matrix (or raw JSON points under
+// cfg.JSON).
+func runOutOfCore(cfg Config) error {
+	cfg = cfg.withDefaults()
+	points, err := RunOutOfCoreBench(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.JSON {
+		bench := &BackendBench{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU: runtime.NumCPU(), OutOfCore: points}
+		return bench.WriteJSON(cfg.W)
+	}
+	fmt.Fprintln(cfg.W, "out-of-core store (step backend; ram = generated graph, file = mmap'd CSR):")
+	var rows [][]string
+	for _, pt := range points {
+		rows = append(rows, []string{
+			pt.Source, pt.Algorithm, pt.Family, metrics.I(pt.N),
+			metrics.I(pt.TotalRounds), fmt.Sprintf("%.1f", pt.WallMs),
+			fmt.Sprintf("%.1f", pt.LoadMs),
+			fmt.Sprintf("%.1f", float64(pt.FileBytes)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(pt.PeakBytes)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(pt.PeakRSSBytes)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(pt.MappedBytes)/(1<<20)),
+		})
+	}
+	metrics.Table(cfg.W, []string{"source", "algorithm", "family", "n", "rounds",
+		"wall ms", "load ms", "file MiB", "peak MiB", "peak RSS MiB", "mapped MiB"}, rows)
+	return nil
+}

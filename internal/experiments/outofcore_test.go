@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+// TestRunOutOfCoreBench runs the quick out-of-core matrix and pins the
+// pairing contract: every family yields a (ram, file) pair with
+// identical LOCAL-model accounting, and the file row carries the
+// out-of-core columns (file size, load time, and — where the host
+// supports mmap — a nonzero shared mapping).
+func TestRunOutOfCoreBench(t *testing.T) {
+	points, err := RunOutOfCoreBench(Config{Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*len(backendFamilies) {
+		t.Fatalf("got %d points, want a (ram, file) pair per family (%d)", len(points), 2*len(backendFamilies))
+	}
+	for i := 0; i < len(points); i += 2 {
+		ram, file := points[i], points[i+1]
+		if ram.Source != "ram" || file.Source != "file" {
+			t.Fatalf("pair %d sources = (%s, %s), want (ram, file)", i/2, ram.Source, file.Source)
+		}
+		if ram.Family != file.Family || ram.N != file.N {
+			t.Errorf("pair %d mismatched: %s/%d vs %s/%d", i/2, ram.Family, ram.N, file.Family, file.N)
+		}
+		if ram.TotalRounds != file.TotalRounds || ram.RoundSum != file.RoundSum {
+			t.Errorf("%s: file accounting (%d, %d) differs from ram (%d, %d)",
+				file.Family, file.TotalRounds, file.RoundSum, ram.TotalRounds, ram.RoundSum)
+		}
+		if file.FileBytes <= 0 {
+			t.Errorf("%s: file row has FileBytes=%d, want >0", file.Family, file.FileBytes)
+		}
+		if file.LoadMs < 0 {
+			t.Errorf("%s: negative LoadMs %f", file.Family, file.LoadMs)
+		}
+		if ram.MappedBytes != 0 {
+			t.Errorf("%s: ram row reports %d mapped bytes", ram.Family, ram.MappedBytes)
+		}
+		// The raw layout mmaps zero-copy on unix hosts; elsewhere the
+		// loader falls back to a heap copy and the column is legitimately 0.
+		if file.MappedBytes != 0 && int64(file.MappedBytes) != file.FileBytes {
+			t.Errorf("%s: MappedBytes=%d does not match the %d-byte file", file.Family, file.MappedBytes, file.FileBytes)
+		}
+	}
+}

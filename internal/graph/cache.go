@@ -1,6 +1,46 @@
 package graph
 
-import "sync"
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// CacheKey builds the canonical cache key for a generated graph: the
+// family name, the vertex count, then alternating parameter name/value
+// pairs for every generator input that shapes the output (arboricity,
+// seed, ...). All call sites composing cache keys must go through it (or
+// FileKey) so that two spellings of the same identity can never diverge
+// and two different identities can never collide:
+//
+//	CacheKey("forests", 4096, "a", 3, "seed", 7) = "forests|n=4096|a=3|seed=7"
+//
+// It panics on a malformed params list — keys are built by code, not
+// data, so a bad call is a programmer error.
+func CacheKey(family string, n int, params ...any) string {
+	if len(params)%2 != 0 {
+		panic(fmt.Sprintf("graph: CacheKey(%q) params must be name/value pairs, got %d values", family, len(params)))
+	}
+	var b strings.Builder
+	b.WriteString(family)
+	fmt.Fprintf(&b, "|n=%d", n)
+	for i := 0; i < len(params); i += 2 {
+		name, ok := params[i].(string)
+		if !ok {
+			panic(fmt.Sprintf("graph: CacheKey(%q) param name %v is %T, want string", family, params[i], params[i]))
+		}
+		fmt.Fprintf(&b, "|%s=%v", name, params[i+1])
+	}
+	return b.String()
+}
+
+// FileKey builds the canonical cache key for a file-backed graph. Two
+// references to the same (cleaned) path share one cache entry — and one
+// mapping — and the "file:" prefix keeps file-backed keys disjoint from
+// CacheKey's family|n=... namespace, so a file-backed and a generated
+// graph can never collide.
+func FileKey(path string) string { return "file:" + filepath.Clean(path) }
 
 // Cache is a concurrency-safe, fill-once cache of generated graphs. An
 // experiment typically compares several algorithms over the same

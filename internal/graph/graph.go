@@ -30,10 +30,20 @@ type Graph struct {
 	ArborBound int
 
 	n int
+	// mapped is the read-only file mapping backing Off/Adj/Rev for graphs
+	// loaded zero-copy from a raw CSR store (see LoadCSR); nil for
+	// heap-resident graphs. It pins the mapping for the graph's lifetime.
+	mapped []byte
 }
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
+
+// MappedBytes reports the size of the read-only file mapping backing this
+// graph's CSR arrays, or 0 for a heap-resident graph. Mapped bytes are
+// shared (page cache, every process mapping the same file) and
+// reclaimable, unlike heap bytes.
+func (g *Graph) MappedBytes() uint64 { return uint64(len(g.mapped)) }
 
 // M returns the number of undirected edges.
 func (g *Graph) M() int { return len(g.Adj) / 2 }

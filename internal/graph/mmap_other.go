@@ -1,0 +1,19 @@
+//go:build !unix
+
+package graph
+
+import "os"
+
+// mapFile reads the file into the heap on platforms without syscall.Mmap:
+// the loader works everywhere, it just doesn't share pages across
+// processes. The second return value is always nil (nothing to unmap).
+func mapFile(path string) (data, mapped []byte, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, nil, nil
+}
+
+// unmapFile is a no-op on hosts without real mappings.
+func unmapFile([]byte) {}

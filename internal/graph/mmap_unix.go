@@ -1,0 +1,51 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile returns the file's contents as a read-only memory mapping on
+// unix hosts. The first return value is the data to parse; the second is
+// the mapping to hand to unmapFile (nil when the file is empty or was
+// read into the heap). The descriptor is closed before returning — the
+// mapping keeps the file alive on its own.
+func mapFile(path string) (data, mapped []byte, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, nil
+	}
+	if int64(int(size)) != size {
+		return nil, nil, syscall.EFBIG
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (some fuse/network mounts) fall
+		// back to a plain read; the loader then owns a heap copy instead of
+		// a shared mapping.
+		heap, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, err
+		}
+		return heap, nil, nil
+	}
+	return b, b, nil
+}
+
+// unmapFile releases a mapping returned by mapFile. Safe on nil.
+func unmapFile(mapped []byte) {
+	if mapped != nil {
+		_ = syscall.Munmap(mapped)
+	}
+}

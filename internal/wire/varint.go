@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file holds the variable-length integer codec shared by the on-disk
+// graph store (internal/graph's CSR format) and any future wire framing.
+// The encoding is standard LEB128 (encoding/binary's uvarint), plus a
+// delta codec for the strictly-ascending int32 runs that dominate graph
+// files: a sorted adjacency list encodes as its first value followed by
+// successive gaps, all uvarints, which compresses low-degree CSR
+// adjacency to roughly one byte per edge endpoint.
+
+// AppendUvarint appends x to buf as a LEB128 uvarint and returns the
+// extended slice.
+func AppendUvarint(buf []byte, x uint64) []byte {
+	return binary.AppendUvarint(buf, x)
+}
+
+// Uvarint decodes a LEB128 uvarint from the front of buf. It returns the
+// value and the number of bytes consumed; n == 0 means buf was truncated
+// mid-value and n < 0 means the value overflowed 64 bits (stdlib
+// semantics). Decoders must treat n <= 0 as a format error, never as a
+// zero value.
+func Uvarint(buf []byte) (uint64, int) {
+	return binary.Uvarint(buf)
+}
+
+// AppendDeltaInt32Run appends a strictly-ascending run of non-negative
+// int32s as first-value + successive-delta uvarints. It panics on a
+// negative, descending, or duplicate value: encoder inputs come from
+// already-sorted CSR adjacency, so a bad run is a builder bug, not a data
+// error.
+func AppendDeltaInt32Run(buf []byte, xs []int32) []byte {
+	prev := int64(-1)
+	for _, x := range xs {
+		if int64(x) <= prev {
+			panic(fmt.Sprintf("wire: delta run not strictly ascending: %d after %d", x, prev))
+		}
+		if x < 0 {
+			panic(fmt.Sprintf("wire: negative value %d in delta run", x))
+		}
+		if prev < 0 {
+			buf = AppendUvarint(buf, uint64(x))
+		} else {
+			buf = AppendUvarint(buf, uint64(int64(x)-prev))
+		}
+		prev = int64(x)
+	}
+	return buf
+}
+
+// DecodeDeltaInt32Run decodes len(out) values of a delta run from the
+// front of buf into out, enforcing that the decoded values are strictly
+// ascending and lie in [0, limit). It returns the number of bytes
+// consumed. Unlike the encoder it never panics: truncated, overflowing,
+// descending, or out-of-range input returns an error, because decoder
+// input is untrusted file data.
+func DecodeDeltaInt32Run(buf []byte, out []int32, limit int32) (int, error) {
+	if limit <= 0 && len(out) > 0 {
+		return 0, fmt.Errorf("wire: delta run of %d values under non-positive limit %d", len(out), limit)
+	}
+	pos := 0
+	prev := int64(-1)
+	for i := range out {
+		v, n := Uvarint(buf[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("wire: delta run truncated at value %d/%d", i, len(out))
+		}
+		pos += n
+		if v > uint64(limit) {
+			// Neither an absolute first value nor a gap can exceed the value
+			// bound; rejecting here also keeps the int64 sum below from
+			// overflowing.
+			return 0, fmt.Errorf("wire: delta run step %d out of range [0,%d)", v, limit)
+		}
+		x := prev + int64(v)
+		if prev < 0 {
+			// First value is absolute, not a gap.
+			x = int64(v)
+		} else if v == 0 {
+			return 0, fmt.Errorf("wire: zero gap at value %d breaks strict ascent", i)
+		}
+		if x >= int64(limit) {
+			return 0, fmt.Errorf("wire: delta run value %d out of range [0,%d)", x, limit)
+		}
+		out[i] = int32(x)
+		prev = x
+	}
+	return pos, nil
+}

@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<56 - 1, 1<<63 - 1, ^uint64(0)}
+	for _, v := range vals {
+		buf := AppendUvarint(nil, v)
+		got, n := Uvarint(buf)
+		if n != len(buf) || got != v {
+			t.Errorf("Uvarint(Append(%d)) = %d (n=%d, len=%d)", v, got, n, len(buf))
+		}
+	}
+	// Truncated and empty input report n <= 0, never a value.
+	if _, n := Uvarint(nil); n > 0 {
+		t.Errorf("Uvarint(nil) n = %d, want <= 0", n)
+	}
+	long := AppendUvarint(nil, ^uint64(0))
+	if _, n := Uvarint(long[:len(long)-1]); n > 0 {
+		t.Errorf("truncated uvarint n = %d, want <= 0", n)
+	}
+}
+
+func TestDeltaInt32RunRoundTrip(t *testing.T) {
+	runs := [][]int32{
+		nil,
+		{0},
+		{5},
+		{0, 1, 2, 3},
+		{3, 100, 101, 1 << 30},
+		{2147483646},
+	}
+	for _, run := range runs {
+		buf := AppendDeltaInt32Run(nil, run)
+		out := make([]int32, len(run))
+		n, err := DecodeDeltaInt32Run(buf, out, 1<<31-1)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", run, err)
+		}
+		if n != len(buf) {
+			t.Errorf("decode(%v) consumed %d of %d bytes", run, n, len(buf))
+		}
+		if len(run) > 0 && !bytes.Equal(int32bytes(run), int32bytes(out)) {
+			t.Errorf("round trip %v -> %v", run, out)
+		}
+	}
+}
+
+func int32bytes(xs []int32) []byte {
+	out := make([]byte, 0, 4*len(xs))
+	for _, x := range xs {
+		out = append(out, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return out
+}
+
+func TestDeltaInt32RunDecodeErrors(t *testing.T) {
+	good := AppendDeltaInt32Run(nil, []int32{1, 5, 9})
+	out := make([]int32, 3)
+
+	// Truncation mid-run.
+	if _, err := DecodeDeltaInt32Run(good[:1], out, 100); err == nil {
+		t.Error("truncated run decoded without error")
+	}
+	// Out-of-range value.
+	if _, err := DecodeDeltaInt32Run(good, out, 9); err == nil {
+		t.Error("out-of-range value decoded without error")
+	}
+	// Zero gap (duplicate) breaks strict ascent.
+	dup := AppendUvarint(AppendUvarint(nil, 4), 0)
+	if _, err := DecodeDeltaInt32Run(dup, make([]int32, 2), 100); err == nil {
+		t.Error("zero gap decoded without error")
+	}
+	// Overflowing accumulated value is out of range, not a wrapped int32.
+	big := AppendUvarint(AppendUvarint(nil, 1<<31-1), 1<<31)
+	if _, err := DecodeDeltaInt32Run(big, make([]int32, 2), 1<<31-1); err == nil {
+		t.Error("overflowing run decoded without error")
+	}
+}
+
+func TestDeltaInt32RunEncodePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  []int32
+	}{
+		{"descending", []int32{5, 3}},
+		{"duplicate", []int32{5, 5}},
+		{"negative", []int32{-1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s run did not panic", tc.name)
+				}
+			}()
+			AppendDeltaInt32Run(nil, tc.run)
+		}()
+	}
+}

@@ -446,3 +446,26 @@ var (
 	KaryTree         = graph.KaryTree
 	Degeneracy       = graph.Degeneracy
 )
+
+// Graph-file re-exports: the binary CSR store, so tools and tests can
+// materialize, load, and audit on-disk graphs through this package alone.
+var (
+	// MakeFamily constructs a graph family by its CLI name — the single
+	// construction path shared by every tool, so a materialized file is
+	// always interchangeable with its generator.
+	MakeFamily = graph.MakeFamily
+	// GraphFamilies lists the family names MakeFamily accepts.
+	GraphFamilies = graph.Families
+	// WriteGraphFile writes a graph to the binary CSR format (raw layout
+	// mmaps zero-copy; compressed trades load-time decode for ~2-4x
+	// smaller files).
+	WriteGraphFile = graph.WriteCSRFile
+	// LoadGraph loads a CSR graph file; raw-layout files come back as one
+	// shared read-only mapping on unix hosts.
+	LoadGraph = graph.LoadCSR
+	// VerifyGraphFile audits a CSR file end to end: checksum, size
+	// accounting, and the full structural contract.
+	VerifyGraphFile = graph.VerifyCSRFile
+	// ReadGraphInfo reads a CSR file's header without decoding sections.
+	ReadGraphInfo = graph.ReadCSRInfo
+)

@@ -221,10 +221,10 @@ demo,forests,128,127,2.2500,5,0,0,1100
 func TestCachedGenSharesGraphs(t *testing.T) {
 	GraphCachePurge()
 	calls := 0
-	gen := CachedGen("test-cachedgen|a=2|seed=5", func(n int) *Graph {
+	gen := CachedGen("test-cachedgen", func(n int) *Graph {
 		calls++
 		return ForestUnion(n, 2, 5)
-	})
+	}, "a", 2, "seed", 5)
 	g1, g2 := gen(64), gen(64)
 	if g1 != g2 {
 		t.Error("same key+size returned distinct graphs")
@@ -232,7 +232,7 @@ func TestCachedGenSharesGraphs(t *testing.T) {
 	if calls != 1 {
 		t.Errorf("generator called %d times, want 1", calls)
 	}
-	other := CachedGen("test-cachedgen|a=2|seed=6", func(n int) *Graph { return ForestUnion(n, 2, 6) })
+	other := CachedGen("test-cachedgen", func(n int) *Graph { return ForestUnion(n, 2, 6) }, "a", 2, "seed", 6)
 	if other(64) == g1 {
 		t.Error("distinct keys shared a cache entry")
 	}
