@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"runtime"
+)
+
+// laneDirective marks a struct as a cache-line-padded staging-lane
+// header (see the step backend's lane type).
+const laneDirective = "//vavg:lane"
+
+// laneCacheLine is the coherence-granule size the padding contract
+// assumes, matching the engine's cacheLine constant.
+const laneCacheLine = 64
+
+// Lanepad enforces the false-sharing contract of //vavg:lane structs
+// (DESIGN.md §11): lane headers are laid out in dense arrays indexed by
+// (source shard, destination shard) and their append cursors are bumped
+// concurrently by distinct workers, so
+//
+//   - a lane struct's size must be an exact cache-line multiple — one
+//     byte short and adjacent headers share a line, turning every
+//     concurrent append into coherence ping-pong (the compile-time size
+//     assertion next to the type catches drift in that one package; the
+//     analyzer catches every package);
+//
+//   - it may not declare sync or sync/atomic fields — lanes are
+//     single-writer per phase by construction, and a lock or atomic in
+//     the header reintroduces exactly the shared-line traffic the
+//     padding removes;
+//
+//   - it may not export fields — an exported cursor invites writers
+//     outside the owning package, which cannot see the phase-ownership
+//     argument that makes unsynchronized appends sound.
+//
+// Sizes are computed for the gc compiler on the host architecture, the
+// only toolchain this repository targets.
+var Lanepad = &Analyzer{
+	Name: "lanepad",
+	Doc:  "keeps //vavg:lane staging-lane headers cache-line padded, lock-free, and unexported",
+	Run:  runLanepad,
+}
+
+func runLanepad(pass *Pass) {
+	// Pass carries no TypesSizes (the offline loader does not thread them
+	// through), so size the structs the way the gc compiler will.
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if !hasDirective(doc, laneDirective) {
+					continue
+				}
+				checkLaneType(pass, sizes, ts)
+			}
+		}
+	}
+}
+
+func checkLaneType(pass *Pass, sizes types.Sizes, ts *ast.TypeSpec) {
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		pass.Reportf(ts.Pos(), "//vavg:lane on non-struct type %s; the padding contract applies to staging-lane header structs", ts.Name.Name)
+		return
+	}
+	for _, field := range st.Fields.List {
+		if typeFromSyncPkg(pass.TypeOf(field.Type)) {
+			pass.Reportf(field.Pos(), "lock or atomic field in //vavg:lane struct %s; lanes are single-writer per phase, and synchronization in the header defeats the padding", ts.Name.Name)
+		}
+		for _, name := range field.Names {
+			if name.IsExported() {
+				pass.Reportf(name.Pos(), "exported field %s in //vavg:lane struct %s; lane cursors stay package-private so no outside writer can touch a padded line", name.Name, ts.Name.Name)
+			}
+		}
+	}
+	obj, _ := pass.Info.Defs[ts.Name].(*types.TypeName)
+	if obj == nil {
+		return
+	}
+	if sz := sizes.Sizeof(obj.Type().Underlying()); sz%laneCacheLine != 0 {
+		pass.Reportf(ts.Pos(), "//vavg:lane struct %s is %d bytes, not a multiple of the %d-byte cache line; adjacent lane headers will false-share", ts.Name.Name, sz, laneCacheLine)
+	}
+}

@@ -1,0 +1,65 @@
+// Package fixture exercises the lanepad analyzer: //vavg:lane staging
+// headers must be exact cache-line multiples, carry no sync or atomic
+// fields, and export nothing. Field pads assume a 64-bit gc target
+// (24-byte slice headers), the only layout this repository builds for.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// good is a correctly padded lane: one unexported cursor plus explicit
+// padding to the 64-byte line.
+//
+//vavg:lane
+type good struct {
+	buf []int32
+	_   [40]byte
+}
+
+// short lost its padding — 24 bytes, so adjacent headers share a line.
+//
+//vavg:lane
+type short struct { // want "not a multiple of the 64-byte cache line"
+	buf []int32
+}
+
+// locked pads correctly but smuggles synchronization into the header.
+//
+//vavg:lane
+type locked struct {
+	mu  sync.Mutex   // want "lock or atomic field in //vavg:lane struct locked"
+	n   atomic.Int64 // want "lock or atomic field in //vavg:lane struct locked"
+	buf []int32
+	_   [24]byte
+}
+
+// leaky exports its cursor, inviting writers outside the owning package.
+//
+//vavg:lane
+type leaky struct {
+	Buf []int32 // want "exported field Buf in //vavg:lane struct leaky"
+	_   [40]byte
+}
+
+// alias misuses the directive on a non-struct type.
+//
+//vavg:lane
+type alias int32 // want "//vavg:lane on non-struct type alias"
+
+// legacy is tolerated by an audited suppression: it is only ever
+// allocated alone, never as an element of a lane array, so false
+// sharing between instances cannot arise.
+//
+//vavg:lane
+//lint:ignore lanepad fixture: demonstrating an accepted suppression
+type legacy struct {
+	buf []int32
+	n   int
+}
+
+// plain is a padded struct without the directive; no contract, no finding.
+type plain struct {
+	Mu sync.Mutex
+}

@@ -103,6 +103,35 @@ func (adv *Adversary) Normalize(n int) error {
 	return nil
 }
 
+// permuted returns a copy of adv with its vertex-keyed schedule remapped
+// into a relabeled view's ID space (newID[old] = new): crash and restart
+// rounds move with their vertices and the event lists are rebuilt in
+// new-ID order. Seed and DropBar are copied unchanged — the drop hash
+// stays keyed by ORIGINAL slot indices, which the message path feeds it
+// via core.dropSlot. The receiver, shared read-only across a sweep, is
+// never mutated.
+func (adv *Adversary) permuted(newID []int32) *Adversary {
+	p := &Adversary{Seed: adv.Seed, DropBar: adv.DropBar}
+	if adv.CrashAt != nil {
+		p.CrashAt = make([]int32, len(adv.CrashAt))
+		for old, r := range adv.CrashAt {
+			p.CrashAt[newID[old]] = r
+		}
+	}
+	if adv.RestartAt != nil {
+		p.RestartAt = make([]int32, len(adv.RestartAt))
+		for old, r := range adv.RestartAt {
+			p.RestartAt[newID[old]] = r
+		}
+	}
+	if err := p.Normalize(len(newID)); err != nil {
+		// The source schedule was normalized for this same n; a pure
+		// remap cannot introduce a validation failure.
+		panic(err)
+	}
+	return p
+}
+
 // sortEvents orders events by (round, vertex); schedules are small, and
 // insertion sort keeps the dependency surface flat.
 func sortEvents(s []advEvent) {

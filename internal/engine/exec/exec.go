@@ -145,6 +145,11 @@ type Result struct {
 	// Restarts is the number of vertices that crashed and were rebooted
 	// from a fresh init.
 	Restarts int
+
+	// Shards is the shard count the step backend ran with (the autotuned
+	// value when Config.StepShards was 0); 0 for the other backends.
+	// Purely informational: Results are invariant in the shard count.
+	Shards int
 }
 
 // VertexAverage returns RoundSum / n, the paper's vertex-averaged
@@ -363,6 +368,18 @@ type core struct {
 	aborted  bool
 	seed     int64
 
+	// Relabel translation (graph.Relabel views, DESIGN.md §11). The engine
+	// runs in the view's cache-friendly vertex space, but every observable
+	// stays in original-ID space: orig maps engine vertex → original ID
+	// (nil when unrelabeled), from[p] is the sender ID collect reports for
+	// slot p (the view's AdjOrig, or g.Adj unrelabeled — branch-free on the
+	// hot path), and slotOrig maps view slots to original directed-edge
+	// positions so the adversary's drop hash sees original slots (nil when
+	// unrelabeled).
+	orig     []int32
+	from     []int32
+	slotOrig []int32
+
 	// Adversary state, nil on fault-free runs: the schedule itself plus
 	// the per-vertex degradation counters. crashed is caller-owned (the
 	// Result aliases it); the counters are summed into the Result at
@@ -397,8 +414,20 @@ func newCore(g *graph.Graph, cfg Config) *core {
 		seed:     cfg.Seed,
 	}
 	c.sendBuf, c.recvBuf = s.bufA, s.bufB
+	c.from = g.Adj
+	if pm := g.Perm; pm != nil {
+		c.orig = pm.Orig
+		c.from = pm.AdjOrig
+		c.slotOrig = pm.SlotOrig
+	}
 	if cfg.Adv != nil {
 		c.adv = cfg.Adv
+		if g.Perm != nil {
+			// Vertex-keyed fault decisions (crash windows, restarts) must
+			// follow their vertices into the view's ID space; the original
+			// Adversary is shared across a sweep and stays untouched.
+			c.adv = cfg.Adv.permuted(g.Perm.New)
+		}
 		c.crashed = make([]bool, n)
 		c.gens = make([]int32, n)
 		c.dropCount = make([]int64, n)
@@ -436,11 +465,18 @@ func (c *core) finish(activePerRound []int, maxRounds int) (*Result, error) {
 					continue
 				}
 			}
-			return nil, fmt.Errorf("engine: vertex %d panicked: %v", v, p)
+			id := v
+			if c.orig != nil {
+				id = int(c.orig[v])
+			}
+			return nil, fmt.Errorf("engine: vertex %d panicked: %v", id, p)
 		}
 	}
 	if c.aborted && c.adv == nil {
 		return nil, fmt.Errorf("%w (%d rounds)", ErrMaxRounds, maxRounds)
+	}
+	if c.orig != nil {
+		c.unmap()
 	}
 	res := &Result{
 		Rounds:         c.rounds,
@@ -480,6 +516,32 @@ func (c *core) finish(activePerRound []int, maxRounds int) (*Result, error) {
 		return res, fmt.Errorf("%w (%d rounds)", ErrMaxRounds, maxRounds)
 	}
 	return res, nil
+}
+
+// unmap permutes the per-vertex Result arrays of a relabeled run back to
+// original vertex indexing. The engine executed in the view's ID space,
+// but Results are part of the observable contract: after this pass they
+// are byte-identical to an unrelabeled run's. Fresh arrays are built once
+// per run (the originals are caller-owned via the Result alias rule).
+func (c *core) unmap() {
+	n := len(c.rounds)
+	rounds := make([]int32, n)
+	commits := make([]int32, n)
+	output := make([]any, n)
+	for v := 0; v < n; v++ {
+		o := c.orig[v]
+		rounds[o] = c.rounds[v]
+		commits[o] = c.commits[v]
+		output[o] = c.output[v]
+	}
+	c.rounds, c.commits, c.output = rounds, commits, output
+	if c.crashed != nil {
+		crashed := make([]bool, n)
+		for v := 0; v < n; v++ {
+			crashed[c.orig[v]] = c.crashed[v]
+		}
+		c.crashed = crashed
+	}
 }
 
 type abortSentinel struct{}
@@ -561,7 +623,14 @@ func runVertexFrom(rt runtime, c *core, v int32, prog Program, done func(), star
 }
 
 // ID returns this vertex's ID (also its identifier in the ID assignment).
-func (a *API) ID() int { return int(a.v) }
+// On a relabeled view this is the original ID — the relabeling is a
+// storage-layout choice, never observable to the algorithm.
+func (a *API) ID() int {
+	if a.core.orig != nil {
+		return int(a.core.orig[a.v])
+	}
+	return int(a.v)
+}
 
 // N returns the number of vertices in the graph; per the model, n is
 // global knowledge.
@@ -571,16 +640,23 @@ func (a *API) N() int { return a.core.g.N() }
 func (a *API) Degree() int { return a.core.g.Degree(int(a.v)) }
 
 // NeighborIDs returns this vertex's neighbor IDs in ascending order. The
-// slice aliases shared storage and must not be modified.
-func (a *API) NeighborIDs() []int32 { return a.core.g.Neighbors(int(a.v)) }
+// slice aliases shared storage and must not be modified. On a relabeled
+// view the slice is the original-ID adjacency (Relabeling.AdjOrig), which
+// keeps the original ascending order.
+func (a *API) NeighborIDs() []int32 {
+	g := a.core.g
+	return a.core.from[g.Off[a.v]:g.Off[a.v+1]]
+}
 
 // Round returns the number of rounds this vertex has completed.
 func (a *API) Round() int { return int(a.round) }
 
 // NeighborIndex returns the position of vertex id within NeighborIDs, or
-// -1 if id is not a neighbor.
+// -1 if id is not a neighbor. The search always runs over original-ID
+// adjacency (NeighborIDs' backing slice), which is ascending on relabeled
+// views too.
 func (a *API) NeighborIndex(id int32) int {
-	return a.core.g.NeighborIndex(int(a.v), int(id))
+	return graph.SearchAdj(a.NeighborIDs(), id)
 }
 
 // Rand returns this vertex's deterministic PRNG. The generator is seeded
@@ -590,7 +666,13 @@ func (a *API) NeighborIndex(id int32) int {
 // and peak memory.
 func (a *API) Rand() *rand.Rand {
 	if a.rng == nil {
-		s := a.core.seed ^ (int64(a.v)+1)*0x9e3779b97f4a7c
+		id := int64(a.v)
+		if a.core.orig != nil {
+			// The stream is keyed by the ORIGINAL ID: relabeled runs must
+			// draw byte-identical randomness.
+			id = int64(a.core.orig[a.v])
+		}
+		s := a.core.seed ^ (id+1)*0x9e3779b97f4a7c
 		if a.gen > 0 {
 			// A restarted incarnation draws a fresh stream — reusing the
 			// pre-crash stream would correlate the reboot with its own past.
@@ -621,7 +703,7 @@ func (a *API) Commit() {
 //vavg:hotpath
 func (a *API) queue(k int, c cell) {
 	if k < 0 || k >= len(a.out) {
-		panic(fmt.Sprintf("engine: vertex %d: neighbor index %d out of range [0,%d)", a.v, k, len(a.out)))
+		panic(fmt.Sprintf("engine: vertex %d: neighbor index %d out of range [0,%d)", a.ID(), k, len(a.out)))
 	}
 	if a.out[k].kind == cellEmpty {
 		a.dirty = append(a.dirty, int32(k))
@@ -669,9 +751,9 @@ func (a *API) SendIDInt(nbr int, x int64) {
 }
 
 func (a *API) mustNeighborIndex(nbr int) int {
-	k := a.core.g.NeighborIndex(int(a.v), nbr)
+	k := a.NeighborIndex(int32(nbr))
 	if k < 0 {
-		panic(fmt.Sprintf("engine: vertex %d sending to non-neighbor %d", a.v, nbr))
+		panic(fmt.Sprintf("engine: vertex %d sending to non-neighbor %d", a.ID(), nbr))
 	}
 	return k
 }
@@ -781,7 +863,7 @@ func (a *API) writeThroughAdv(c cell) {
 			if count {
 				a.core.lostCount[a.v]++
 			}
-		case adv.dropped(g.Rev[p], dr):
+		case adv.dropped(a.core.dropSlot(g.Rev[p]), dr):
 			if count {
 				a.core.dropCount[a.v]++
 			}
@@ -822,7 +904,7 @@ func (a *API) flushAdv() {
 			if !bcast {
 				a.core.lostCount[a.v]++
 			}
-		case adv.dropped(g.Rev[p], dr):
+		case adv.dropped(a.core.dropSlot(g.Rev[p]), dr):
 			if !bcast {
 				a.core.dropCount[a.v]++
 			}
@@ -838,6 +920,16 @@ func (a *API) flushAdv() {
 		a.core.msgCount[a.v] += delivered
 	}
 	a.dirty = a.dirty[:0]
+}
+
+// dropSlot translates a delivery slot for the adversary's drop hash: on a
+// relabeled view the hash must see the ORIGINAL directed-edge position, so
+// faulty relabeled runs drop exactly the deliveries unrelabeled runs do.
+func (c *core) dropSlot(slot int32) int32 {
+	if c.slotOrig != nil {
+		return c.slotOrig[slot]
+	}
+	return slot
 }
 
 // sortInt32 insertion-sorts s in place; dirty lists are degree-bounded and
@@ -858,13 +950,14 @@ func sortInt32(s []int32) {
 //vavg:hotpath
 func (a *API) collect(buf []Msg) []Msg {
 	g := a.core.g
+	from := a.core.from
 	lo, hi := g.Off[a.v], g.Off[a.v+1]
 	for p := lo; p < hi; p++ {
 		c := &a.core.recvBuf[p]
 		if c.kind == cellEmpty {
 			continue
 		}
-		m := Msg{From: g.Adj[p]}
+		m := Msg{From: from[p]}
 		if c.kind == cellInt {
 			m.Int, m.isInt = c.ival, true
 		} else {

@@ -5,6 +5,7 @@ import (
 	gort "runtime"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"testing"
 
 	"vavg/internal/graph"
@@ -320,6 +321,99 @@ func benchLane(b *testing.B, deg int, send func(a *API, i int)) {
 		}
 	}
 	_ = sink
+}
+
+// BenchmarkLaneMerge measures the staged cross-shard path end to end: a
+// ring's vertices broadcast through stepRuntime.deliver (same-shard
+// writes go direct, shard-boundary ones into the lanes) and every shard
+// runs its batched applyLanes merge. The warm path must be allocation-
+// free — lane buffers, pending lists, and inboxes reach capacity during
+// the first iterations and are reused thereafter.
+func BenchmarkLaneMerge(b *testing.B) {
+	for _, nshards := range []int{2, 8, 64} {
+		b.Run(fmt.Sprintf("shards=%d", nshards), func(b *testing.B) {
+			g := graph.Ring(4096)
+			c := newCore(g, Config{})
+			defer c.release()
+			n := int32(g.N())
+			shardSize := (n + int32(nshards) - 1) / int32(nshards)
+			rt := &stepRuntime{c: c, shardSize: shardSize, round: 1}
+			for lo := int32(0); lo < n; lo += shardSize {
+				hi := lo + shardSize
+				if hi > n {
+					hi = n
+				}
+				rt.shards = append(rt.shards, &stepShard{
+					idx: int32(len(rt.shards)), lo: lo, hi: hi,
+					msgRound: make([]int32, hi-lo),
+				})
+			}
+			rt.lanes = make([]lane, nshards*nshards)
+			apis := make([]*API, n)
+			for v := range apis {
+				apis[v] = stubAPI(c, rt, int32(v))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, a := range apis {
+					a.BroadcastInt(int64(i))
+					a.flush()
+				}
+				for _, s := range rt.shards {
+					s.applyLanes(rt)
+				}
+				// Reset the wake bookkeeping runRound would have drained; the
+				// slab double-buffer swap stands in for the round barrier.
+				for _, s := range rt.shards {
+					//lint:ignore shardseam benchmark harness drain at the simulated round barrier; no worker is running
+					s.pending = s.pending[:0]
+					clear(s.msgRound)
+				}
+				c.swap()
+			}
+		})
+	}
+}
+
+// BenchmarkLaneFalseSharing measures what the lane header padding buys:
+// two goroutines bump append cursors that either sit on separate cache
+// lines (padded: the real lane layout) or share one (packed: two bare
+// 24-byte slice headers side by side). On a multicore host the packed
+// variant pays coherence ping-pong on the shared line every append; with
+// GOMAXPROCS=1 the goroutines serialize and the two variants coincide —
+// the honest reading on a single-CPU container.
+func BenchmarkLaneFalseSharing(b *testing.B) {
+	const appendsPerOp = 1 << 12
+	bench := func(b *testing.B, cursors [2]*[]laneEntry) {
+		for _, cur := range cursors {
+			*cur = make([]laneEntry, 0, appendsPerOp)
+		}
+		var wg sync.WaitGroup
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wg.Add(2)
+			for w := 0; w < 2; w++ {
+				go func(cur *[]laneEntry) {
+					defer wg.Done()
+					*cur = (*cur)[:0]
+					for k := int32(0); k < appendsPerOp; k++ {
+						*cur = append(*cur, laneEntry{slot: k})
+					}
+				}(cursors[w])
+			}
+			wg.Wait()
+		}
+	}
+	b.Run("padded", func(b *testing.B) {
+		lanes := make([]lane, 2)
+		bench(b, [2]*[]laneEntry{&lanes[0].buf, &lanes[1].buf})
+	})
+	b.Run("packed", func(b *testing.B) {
+		var hdrs struct{ a, b []laneEntry }
+		bench(b, [2]*[]laneEntry{&hdrs.a, &hdrs.b})
+	})
 }
 
 func BenchmarkMsgPath(b *testing.B) {

@@ -6,6 +6,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"unsafe"
 
 	"vavg/internal/graph"
 )
@@ -139,6 +140,36 @@ type laneEntry struct {
 	c          cell
 }
 
+// cacheLine is the assumed coherence-granule size. 64 bytes covers every
+// target this repo runs on (x86-64, arm64 with 64-byte lines; 128-byte-
+// line arm64 parts simply get two-line padding granularity).
+const cacheLine = 64
+
+// laneHeaderPad rounds the lane header (one slice: 3 pointer-sized words)
+// up to the next cache-line boundary.
+const laneHeaderPad = cacheLine - (3*unsafe.Sizeof(uintptr(0)))%cacheLine
+
+// lane is one (source shard, destination shard) staging buffer, padded so
+// no two lane headers share a cache line. The header's len field is an
+// append cursor bumped on every cross-shard delivery of the exec phase;
+// lanes[src*nshards+dst] lays a worker's row of cursors contiguously, so
+// without padding worker A appending to its lane would false-share the
+// line with worker B reading or appending to an adjacent one — measured
+// by BenchmarkLaneFalseSharing. The lanepad analyzer enforces the
+// contract: no sync/atomic fields, no exported cursor fields, size an
+// exact cache-line multiple.
+//
+//vavg:lane
+type lane struct {
+	buf []laneEntry
+	_   [laneHeaderPad]byte
+}
+
+// Compile-time assertion that lane is an exact cache-line multiple: the
+// constant goes negative — a compile error for uintptr — if padding ever
+// drifts (e.g. a field is added without re-padding).
+const _ uintptr = -(unsafe.Sizeof(lane{}) % cacheLine)
+
 // stepShard owns a contiguous vertex range [lo, hi). The seam contract
 // (enforced by the shardseam analyzer): fields are written only by the
 // shard's own methods — the exec phase runs them from the worker owning
@@ -190,8 +221,9 @@ type stepRuntime struct {
 	// from shard src to shard dst this round. During the exec phase lane
 	// (src, *) is written only by the worker running shard src; during the
 	// merge phase lane (*, dst) is read and truncated only by the worker
-	// merging shard dst. Nil on single-shard runs.
-	lanes [][]laneEntry
+	// merging shard dst. Headers are cache-line padded (see lane). Nil on
+	// single-shard runs.
+	lanes []lane
 	// round is the current global round, written by the coordinator at the
 	// barrier and read by workers during the phases.
 	round int32
@@ -214,8 +246,8 @@ func (rt *stepRuntime) deliver(a *API, p int32, c cell) {
 	d := recv / rt.shardSize
 	src := a.v / rt.shardSize
 	if src != d {
-		li := src*int32(len(rt.shards)) + d
-		rt.lanes[li] = append(rt.lanes[li], laneEntry{slot: g.Rev[p], recv: recv, c: c})
+		l := &rt.lanes[src*int32(len(rt.shards))+d]
+		l.buf = append(l.buf, laneEntry{slot: g.Rev[p], recv: recv, c: c})
 		return
 	}
 	rt.c.sendBuf[g.Rev[p]] = c
@@ -240,26 +272,37 @@ func (s *stepShard) noteDelivery(recv, t int32) {
 	s.pending = append(s.pending, idleEntry{t, recv})
 }
 
-// applyLanes is the merge phase for this destination shard: every source
-// shard's staged deliveries are applied in ascending source-shard order —
-// slab write plus wake bookkeeping, single-threaded for this shard — and
-// the drained lanes are zeroed (payload cells may hold pointers) and
-// truncated for the next round.
+// applyLanes is the merge phase for this destination shard: a k-way
+// ordered merge over the lane blocks addressed to it. Iterating source
+// shards ascending IS that merge — entries within a lane are already in
+// (sender, slot) append order, and a slot can appear in only one lane per
+// round (its sender fixes the source shard), so cross-lane interleaving
+// cannot affect slab contents — giving the deterministic (source shard,
+// sender, slot) order at block-copy cost. Each lane is applied as three
+// batched passes instead of interleaved per-entry work: a slab-write
+// sweep, a wake-bookkeeping sweep in the same entry order (preserving the
+// pending list's arrival order exactly), and one clear() to batch-zero
+// the drained entries (payload cells may hold pointers).
 //
 //vavg:shardmerge
 func (s *stepShard) applyLanes(rt *stepRuntime) {
 	t := rt.round + 1
 	nsh := int32(len(rt.shards))
+	sendBuf := rt.c.sendBuf
 	for src := int32(0); src < nsh; src++ {
-		li := src*nsh + s.idx
-		lane := rt.lanes[li]
-		for i := range lane {
-			e := &lane[i]
-			rt.c.sendBuf[e.slot] = e.c
-			s.noteDelivery(e.recv, t)
-			*e = laneEntry{}
+		l := &rt.lanes[src*nsh+s.idx]
+		buf := l.buf
+		if len(buf) == 0 {
+			continue
 		}
-		rt.lanes[li] = lane[:0]
+		for i := range buf {
+			sendBuf[buf[i].slot] = buf[i].c
+		}
+		for i := range buf {
+			s.noteDelivery(buf[i].recv, t)
+		}
+		clear(buf)
+		l.buf = buf[:0]
 	}
 }
 
@@ -580,7 +623,7 @@ func (stepBackend) RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Resul
 
 	nshards := cfg.StepShards
 	if nshards <= 0 {
-		nshards = gort.GOMAXPROCS(0)
+		nshards = autotuneShards(g)
 	}
 	if nshards > n {
 		nshards = n
@@ -614,7 +657,7 @@ func (stepBackend) RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Resul
 	}
 	nshards = len(rt.shards)
 	if nshards > 1 {
-		rt.lanes = make([][]laneEntry, nshards*nshards)
+		rt.lanes = make([]lane, nshards*nshards)
 	}
 	if c.adv != nil {
 		rt.restarts = eventCursor{events: c.adv.restarts}
@@ -749,5 +792,9 @@ func (stepBackend) RunStep(g *graph.Graph, prog StepProgram, cfg Config) (*Resul
 			rebalanceShards(owned, rt.shards)
 		}
 	}
-	return c.finish(activePerRound, maxRounds)
+	res, err := c.finish(activePerRound, maxRounds)
+	if res != nil {
+		res.Shards = nshards
+	}
+	return res, err
 }

@@ -79,6 +79,12 @@ type BackendBench struct {
 	// generated before the out-of-core store existed; the compare gate
 	// treats the missing column as zero points.
 	OutOfCore []OutOfCorePoint `json:"outOfCore,omitempty"`
+	// Locality is the cache-layout matrix (see locality.go): relabel
+	// {off, rcm} × shards {auto, fixed} on the step backend over an mmap'd
+	// CSR file, with identical accounting enforced across all four cells.
+	// Absent in baselines generated before the locality pass existed; the
+	// compare gate treats the missing column as zero points.
+	Locality []LocalityPoint `json:"locality,omitempty"`
 }
 
 // SweepTiming is one wall-clock measurement of the whole benchmark matrix
@@ -148,6 +154,9 @@ func RunBackendBench(cfg Config) (*BackendBench, error) {
 		return nil, err
 	}
 	if bench.OutOfCore, err = RunOutOfCoreBench(cfg); err != nil {
+		return nil, err
+	}
+	if bench.Locality, err = RunLocalityBench(cfg); err != nil {
 		return nil, err
 	}
 	return bench, nil
@@ -221,6 +230,17 @@ func measureSweepTimings(cfg Config) ([]SweepTiming, error) {
 // core is on the clock, and samples HeapInuse+StackInuse concurrently to
 // capture the peak footprint (goroutine stacks dominate at large n).
 func measureBackend(alg vavg.Algorithm, g *vavg.Graph, family string, a int, backend string, seed int64, stepShards int) (BackendPoint, error) {
+	pt, _, err := measureParams(alg, g, family, vavg.Params{
+		Arboricity: a, Seed: seed, Backend: backend, StepShards: stepShards,
+	})
+	return pt, err
+}
+
+// measureParams is measureBackend with the full Params surface (the
+// locality matrix threads Relabel and StepShards through it) and the
+// measured Report returned alongside, for columns the BackendPoint does
+// not carry (the autotuned shard count). SkipValidation is forced.
+func measureParams(alg vavg.Algorithm, g *vavg.Graph, family string, p vavg.Params) (BackendPoint, metrics.Run, error) {
 	runtime.GC()
 	resetPeakRSS()
 	stop := make(chan struct{})
@@ -246,19 +266,18 @@ func measureBackend(alg vavg.Algorithm, g *vavg.Graph, family string, a int, bac
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	startMallocs := ms.Mallocs
+	p.SkipValidation = true
 	start := time.Now()
-	rep, err := alg.Run(g, vavg.Params{
-		Arboricity: a, Seed: seed, Backend: backend, StepShards: stepShards, SkipValidation: true,
-	})
+	rep, err := alg.Run(g, p)
 	wall := time.Since(start)
 	runtime.ReadMemStats(&ms)
 	close(stop)
 	peak := <-peakCh
 	if err != nil {
-		return BackendPoint{}, err
+		return BackendPoint{}, metrics.Run{}, err
 	}
 	pt := BackendPoint{
-		Backend:      backend,
+		Backend:      p.Backend,
 		Algorithm:    alg.Name,
 		Family:       family,
 		N:            g.N(),
@@ -279,7 +298,7 @@ func measureBackend(alg vavg.Algorithm, g *vavg.Graph, family string, a int, bac
 		pt.NsPerVertexRound = float64(wall.Nanoseconds()) / float64(rep.RoundSum)
 		pt.AllocsPerVertexRound = float64(pt.Allocs) / float64(rep.RoundSum)
 	}
-	return pt, nil
+	return pt, rep, nil
 }
 
 // WriteJSON emits the benchmark as indented JSON (the BENCH_engine.json

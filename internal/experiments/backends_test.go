@@ -85,7 +85,7 @@ func TestExperimentsParallelMatchesSerial(t *testing.T) {
 		t.Skip("experiment equivalence run is not short")
 	}
 	for _, e := range All() {
-		if e.ID == "backends" || e.ID == "multicore" || e.ID == "outofcore" {
+		if e.ID == "backends" || e.ID == "multicore" || e.ID == "outofcore" || e.ID == "locality" {
 			continue // wall-clock measurements are never byte-stable
 		}
 		e := e

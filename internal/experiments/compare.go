@@ -90,6 +90,13 @@ func comparePoints(b *BackendBench) []BackendPoint {
 			WallMs: op.WallMs, Allocs: op.Allocs,
 		})
 	}
+	for _, lp := range b.Locality {
+		points = append(points, BackendPoint{
+			Backend:   fmt.Sprintf("locality-%s@%s", lp.Relabel, lp.ShardMode),
+			Algorithm: lp.Algorithm, Family: lp.Family, N: lp.N,
+			WallMs: lp.WallMs, Allocs: lp.Allocs,
+		})
+	}
 	return points
 }
 

@@ -108,6 +108,7 @@ func All() []Experiment {
 		{"multicore", "staged lanes (DESIGN.md §9)", "step backend scales with workers; Results byte-identical at every GOMAXPROCS", runMulticore},
 		{"faults", "fault model (DESIGN.md §8)", "degradation is graceful and deterministic: losses and crashes raise rounds and conflicts smoothly", runFaults},
 		{"outofcore", "out-of-core store (DESIGN.md §10)", "mmap'd CSR files run byte-identical to generated graphs; memory-budget columns show what the mapping buys", runOutOfCore},
+		{"locality", "cache layout (DESIGN.md §11)", "RCM relabeling and shard autotuning never change a Result; wall-clock columns isolate what the layout buys", runLocality},
 		{"ablation-eps", "design choice (§6.1)", "eps trades the palette factor A=(2+eps)a against decay speed", runAblationEps},
 		{"ablation-k", "design choice (§7.5)", "k trades colors against vertex-averaged rounds", runAblationK},
 		{"table1", "Table 1 (summary)", "all vertex-coloring rows at one size", runTable1},

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"vavg"
+	"vavg/internal/metrics"
+)
+
+// LocalityPoint is one cell of the cache-layout matrix: the same
+// (algorithm, family, n, seed) run on the step backend over an mmap'd CSR
+// file, measured under every combination of the vertex-relabeling pass
+// (Relabel "off" or "rcm") and the shard-count policy (ShardMode "auto"
+// lets the backend pick, "fixed" pins localityFixedShards). Both knobs
+// are pure layout: the LOCAL-model accounting is enforced identical
+// across all four cells, so the wall-clock and allocation columns isolate
+// what the memory layout costs or buys.
+type LocalityPoint struct {
+	Relabel   string `json:"relabel"`
+	ShardMode string `json:"shardMode"`
+	// Shards is the shard count the run actually used (the backend's
+	// choice on auto rows, localityFixedShards on fixed rows).
+	Shards      int     `json:"shards"`
+	Algorithm   string  `json:"algorithm"`
+	Family      string  `json:"family"`
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	TotalRounds int     `json:"totalRounds"`
+	RoundSum    int64   `json:"roundSum"`
+	WallMs      float64 `json:"wallMs"`
+	Allocs      uint64  `json:"allocs"`
+	// Speedup is the relabel-off wall time of the same (algorithm, family,
+	// shard mode) cell divided by this cell's — >1 means the RCM layout is
+	// faster, 1.0 on the off rows by construction. An honest single-digit
+	// figure on a 1-CPU container is expected: the layout pass mostly pays
+	// off where cross-shard merge traffic and cache pressure exist at all.
+	Speedup float64 `json:"speedup"`
+}
+
+// localityFixedShards is the pinned shard count of the "fixed" rows: the
+// same constant on every host (unlike the auto rows, which track the
+// machine), so committed baselines stay comparable across machines.
+const localityFixedShards = 8
+
+// localityAlgs are the measured algorithms: partition is the one-shot
+// cheap-state workhorse, arblinial-o1 layers the §7 Idle-window schedule
+// on top — a genuinely multi-round workload where the per-round sweeps
+// dominate and the layout has rounds to pay off over.
+var localityAlgs = []string{"partition", "arblinial-o1"}
+
+// RunLocalityBench measures the locality matrix at the largest configured
+// size: for each family the graph is generated once, written as a raw CSR
+// file, released, and loaded back as a shared read-only mapping — the
+// out-of-core configuration the relabeling pass targets — then every
+// (algorithm, relabel, shard mode) cell runs on the step backend from
+// that one mapping. It fails loudly if any cell's accounting differs:
+// relabeling and shard policy must never change a Result.
+func RunLocalityBench(cfg Config) ([]LocalityPoint, error) {
+	cfg = cfg.withDefaults()
+	seed := cfg.Seeds[0]
+	n := cfg.Sizes[len(cfg.Sizes)-1]
+	dir, err := os.MkdirTemp("", "vavg-locality-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	// The relabeled views are memoized per loaded graph; drop them with
+	// the temp files rather than holding O(n+m) arrays past the bench.
+	defer vavg.GraphCachePurge()
+
+	var out []LocalityPoint
+	for _, fam := range backendFamilies {
+		famN := n
+		if fam.Name == "forests" && famN > outOfCoreForestCap {
+			famN = outOfCoreForestCap
+		}
+		g := fam.Gen(famN)
+		path := filepath.Join(dir, fmt.Sprintf("%s-%d.csr", fam.Name, famN))
+		if err := vavg.WriteGraphFile(path, g, false); err != nil {
+			return nil, fmt.Errorf("locality: %s n=%d write: %w", fam.Name, famN, err)
+		}
+		g = nil
+		runtime.GC()
+		loaded, err := vavg.LoadGraph(path)
+		if err != nil {
+			return nil, fmt.Errorf("locality: %s n=%d load: %w", fam.Name, famN, err)
+		}
+		for _, name := range localityAlgs {
+			alg, err := vavg.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			var cells []LocalityPoint
+			for _, relabel := range []string{"off", "rcm"} {
+				for _, mode := range []struct {
+					name   string
+					shards int
+				}{{"auto", 0}, {"fixed", localityFixedShards}} {
+					pt, rep, err := measureParams(alg, loaded, fam.Name, vavg.Params{
+						Arboricity: fam.A, Seed: seed, Backend: "step",
+						StepShards: mode.shards, Relabel: relabel,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("locality: %s/%s relabel=%s shards=%s: %w",
+							name, fam.Name, relabel, mode.name, err)
+					}
+					cells = append(cells, LocalityPoint{
+						Relabel: relabel, ShardMode: mode.name, Shards: rep.StepShards,
+						Algorithm: name, Family: fam.Name, N: pt.N, M: pt.M,
+						TotalRounds: pt.TotalRounds, RoundSum: pt.RoundSum,
+						WallMs: pt.WallMs, Allocs: pt.Allocs,
+					})
+				}
+			}
+			base := cells[0]
+			for i := range cells {
+				c := &cells[i]
+				if c.TotalRounds != base.TotalRounds || c.RoundSum != base.RoundSum {
+					return nil, fmt.Errorf("locality: %s/%s relabel=%s shards=%s accounting (%d rounds, %d roundSum) differs from off/auto (%d, %d); a layout knob changed a Result",
+						name, fam.Name, c.Relabel, c.ShardMode,
+						c.TotalRounds, c.RoundSum, base.TotalRounds, base.RoundSum)
+				}
+				c.Speedup = 1
+				for _, off := range cells {
+					if off.Relabel == "off" && off.ShardMode == c.ShardMode && c.WallMs > 0 {
+						c.Speedup = off.WallMs / c.WallMs
+					}
+				}
+			}
+			out = append(out, cells...)
+		}
+	}
+	return out, nil
+}
+
+// runLocality renders the locality matrix (or raw JSON points under
+// cfg.JSON).
+func runLocality(cfg Config) error {
+	cfg = cfg.withDefaults()
+	points, err := RunLocalityBench(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.JSON {
+		bench := &BackendBench{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU: runtime.NumCPU(), Locality: points}
+		return bench.WriteJSON(cfg.W)
+	}
+	fmt.Fprintln(cfg.W, "cache-layout matrix (step backend over an mmap'd CSR file; speedup = off / this, same shard mode):")
+	var rows [][]string
+	for _, pt := range points {
+		rows = append(rows, []string{
+			pt.Relabel, pt.ShardMode, metrics.I(pt.Shards),
+			pt.Algorithm, pt.Family, metrics.I(pt.N),
+			metrics.I(pt.TotalRounds), fmt.Sprintf("%.1f", pt.WallMs),
+			metrics.I(int(pt.Allocs)), fmt.Sprintf("%.2fx", pt.Speedup),
+		})
+	}
+	metrics.Table(cfg.W, []string{"relabel", "shard mode", "shards", "algorithm", "family",
+		"n", "rounds", "wall ms", "allocs", "speedup"}, rows)
+	return nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunLocalityBench runs the quick locality matrix and pins its
+// contract: four cells per (family, algorithm) — relabel {off, rcm} ×
+// shards {auto, fixed} — with identical LOCAL-model accounting, a
+// recorded shard count on every cell, and speedup defined as the
+// relabel-off wall time of the same shard mode over the cell's own.
+func TestRunLocalityBench(t *testing.T) {
+	points, err := RunLocalityBench(Config{Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellsPer := 4
+	if want := cellsPer * len(backendFamilies) * len(localityAlgs); len(points) != want {
+		t.Fatalf("got %d points, want %d (4 cells per family x algorithm)", len(points), want)
+	}
+	for i := 0; i < len(points); i += cellsPer {
+		cells := points[i : i+cellsPer]
+		base := cells[0]
+		if base.Relabel != "off" || base.ShardMode != "auto" {
+			t.Fatalf("cell order changed: first cell is %s/%s, want off/auto", base.Relabel, base.ShardMode)
+		}
+		for _, c := range cells {
+			if c.Algorithm != base.Algorithm || c.Family != base.Family || c.N != base.N {
+				t.Errorf("cell block mixes runs: %s/%s/%d vs %s/%s/%d",
+					c.Algorithm, c.Family, c.N, base.Algorithm, base.Family, base.N)
+			}
+			if c.TotalRounds != base.TotalRounds || c.RoundSum != base.RoundSum {
+				t.Errorf("%s/%s relabel=%s shards=%s: accounting (%d, %d) differs from off/auto (%d, %d)",
+					c.Algorithm, c.Family, c.Relabel, c.ShardMode,
+					c.TotalRounds, c.RoundSum, base.TotalRounds, base.RoundSum)
+			}
+			if c.Shards < 1 {
+				t.Errorf("%s/%s relabel=%s shards=%s: recorded shard count %d, want >= 1",
+					c.Algorithm, c.Family, c.Relabel, c.ShardMode, c.Shards)
+			}
+			if c.ShardMode == "fixed" && c.Shards != localityFixedShards {
+				t.Errorf("%s/%s fixed cell recorded %d shards, want %d",
+					c.Algorithm, c.Family, c.Shards, localityFixedShards)
+			}
+			if c.Relabel == "off" && c.Speedup != 1 {
+				t.Errorf("%s/%s off/%s: speedup %f, want 1 by construction",
+					c.Algorithm, c.Family, c.ShardMode, c.Speedup)
+			}
+			if c.Speedup <= 0 {
+				t.Errorf("%s/%s %s/%s: non-positive speedup %f",
+					c.Algorithm, c.Family, c.Relabel, c.ShardMode, c.Speedup)
+			}
+		}
+	}
+}
+
+// TestCompareBenchesLocality pins the regression gate's handling of the
+// locality column: rows fold into the keyed diff under synthesized
+// locality-* backends, and a baseline that predates the column diffs
+// cleanly — its missing rows surface as unmatched, never as failures.
+func TestCompareBenchesLocality(t *testing.T) {
+	lp := func(relabel, mode string, wall float64) LocalityPoint {
+		return LocalityPoint{Relabel: relabel, ShardMode: mode, Shards: 2,
+			Algorithm: "partition", Family: "ring", N: 1024, WallMs: wall, Allocs: 500}
+	}
+	core := []BackendPoint{{Backend: "step", Algorithm: "partition", Family: "ring", N: 1024, WallMs: 10, Allocs: 1000}}
+	old := &BackendBench{Points: core,
+		Locality: []LocalityPoint{lp("off", "auto", 10), lp("rcm", "auto", 8)}}
+	fresh := &BackendBench{Points: core,
+		Locality: []LocalityPoint{lp("off", "auto", 10.5), lp("rcm", "auto", 16), lp("rcm", "fixed", 9)}}
+	rep := CompareBenches(old, fresh, 25)
+	if rep.Regressions != 1 {
+		t.Fatalf("Regressions = %d, want 1 (the rcm@auto +100%% wall)", rep.Regressions)
+	}
+	for _, d := range rep.Deltas {
+		if wantReg := d.Backend == "locality-rcm@auto"; d.Regressed != wantReg {
+			t.Errorf("%s: Regressed = %v, want %v", d.Backend, d.Regressed, wantReg)
+		}
+	}
+	if len(rep.Unmatched) != 1 || !strings.Contains(rep.Unmatched[0], "locality-rcm@fixed") {
+		t.Errorf("Unmatched = %v, want the new rcm@fixed row only", rep.Unmatched)
+	}
+
+	// A pre-locality baseline: every locality row is unmatched, none gate.
+	pre := &BackendBench{Points: core}
+	rep = CompareBenches(pre, fresh, 25)
+	if rep.Regressions != 0 {
+		t.Errorf("locality-added bench regressed against pre-locality baseline: %+v", rep.Deltas)
+	}
+	if len(rep.Unmatched) != 3 {
+		t.Errorf("got %d unmatched, want the 3 locality rows: %v", len(rep.Unmatched), rep.Unmatched)
+	}
+}

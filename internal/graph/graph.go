@@ -28,6 +28,12 @@ type Graph struct {
 	// ArborBound is a certified upper bound on the arboricity, when the
 	// generator knows one, and 0 otherwise.
 	ArborBound int
+	// Perm is non-nil on relabeled engine views built by Relabel: it maps
+	// between the view's cache-friendly vertex numbering and the original
+	// IDs, which remain the observable ones. See relabel.go for the view's
+	// invariants (its Adj is NOT ascending in view IDs, so such a graph
+	// must never be persisted or structurally validated).
+	Perm *Relabeling
 
 	n int
 	// mapped is the read-only file mapping backing Off/Adj/Rev for graphs
@@ -68,8 +74,14 @@ const neighborScanCutoff = 16
 // if u and v are not adjacent. It runs in O(log deg(u)); below a small
 // degree cutoff it scans linearly, exiting early on the sorted order.
 func (g *Graph) NeighborIndex(u, v int) int {
-	adj := g.Neighbors(u)
-	w := int32(v)
+	return SearchAdj(g.Neighbors(u), int32(v))
+}
+
+// SearchAdj returns the position of w within the ascending adjacency slice
+// adj, or -1 if absent — NeighborIndex over any sorted ID slice. The engine
+// uses it to search a relabeled view's original-ID adjacency (Relabeling.
+// AdjOrig), which is ascending per vertex even though the view's Adj is not.
+func SearchAdj(adj []int32, w int32) int {
 	if len(adj) <= neighborScanCutoff {
 		for i, x := range adj {
 			if x >= w {

@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// familyGraph pairs a registered family name with a modest instance,
+// in registry order so the property tests iterate deterministically.
+type familyGraph struct {
+	fam string
+	g   *Graph
+}
+
+// familyGraphs builds one modest instance of every registered family.
+func familyGraphs(t *testing.T) []familyGraph {
+	t.Helper()
+	out := make([]familyGraph, 0, len(Families))
+	for _, fam := range Families {
+		g, err := MakeFamily(fam, 300, 3, 7)
+		if err != nil {
+			t.Fatalf("MakeFamily(%s): %v", fam, err)
+		}
+		out = append(out, familyGraph{fam, g})
+	}
+	return out
+}
+
+// TestRCMOrderPermutation checks that RCMOrder is a deterministic
+// permutation for every family.
+func TestRCMOrderPermutation(t *testing.T) {
+	for _, fg := range familyGraphs(t) {
+		fam, g := fg.fam, fg.g
+		order := RCMOrder(g)
+		if len(order) != g.N() {
+			t.Fatalf("%s: order has %d entries, want %d", fam, len(order), g.N())
+		}
+		seen := make([]bool, g.N())
+		for _, v := range order {
+			if v < 0 || int(v) >= g.N() || seen[v] {
+				t.Fatalf("%s: order is not a permutation at %d", fam, v)
+			}
+			seen[v] = true
+		}
+		if again := RCMOrder(g); !reflect.DeepEqual(order, again) {
+			t.Fatalf("%s: RCMOrder is not deterministic", fam)
+		}
+	}
+}
+
+// TestPermuteRoundTrip checks Permute(Permute(g, order), order⁻¹) = g
+// byte-for-byte: Off, Adj, and Rev all come back identical, for every
+// family. This is the `Relabel(Relabel⁻¹) = id` property on the canonical
+// (persistable) relabeled form.
+func TestPermuteRoundTrip(t *testing.T) {
+	for _, fg := range familyGraphs(t) {
+		fam, g := fg.fam, fg.g
+		order := RCMOrder(g)
+		pg := Permute(g, order)
+		if pg.N() != g.N() || pg.M() != g.M() {
+			t.Fatalf("%s: Permute changed the graph: n %d->%d m %d->%d", fam, g.N(), pg.N(), g.M(), pg.M())
+		}
+		inv := invertOrder(g, order)
+		back := Permute(pg, inv)
+		if !reflect.DeepEqual(back.Off, g.Off) || !reflect.DeepEqual(back.Adj, g.Adj) || !reflect.DeepEqual(back.Rev, g.Rev) {
+			t.Fatalf("%s: Permute round trip is not the identity", fam)
+		}
+		// The permuted graph is a canonical CSR graph in its own right.
+		if err := validateCSRGraph(pg); err != nil {
+			t.Fatalf("%s: permuted graph fails structural validation: %v", fam, err)
+		}
+	}
+}
+
+// TestPermutePreservesEdges checks that Permute is the claimed isomorphism:
+// {u,v} is an edge of g iff {New[u],New[v]} is an edge of the permutation.
+func TestPermutePreservesEdges(t *testing.T) {
+	g, err := MakeFamily("forests", 400, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := RCMOrder(g)
+	newID := invertOrder(g, order)
+	pg := Permute(g, order)
+	for _, e := range g.Edges() {
+		if !pg.HasEdge(int(newID[e.U]), int(newID[e.V])) {
+			t.Fatalf("edge {%d,%d} lost by Permute", e.U, e.V)
+		}
+	}
+}
+
+// TestPermutedFileVerifies checks the persistable half of the relabel
+// pipeline: an RCM-permuted graph written as a CSR file (raw and
+// compressed) passes the full structural verification with identical
+// accounting, and loads back equal.
+func TestPermutedFileVerifies(t *testing.T) {
+	g, err := MakeFamily("forests", 500, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := Permute(g, RCMOrder(g))
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name     string
+		compress bool
+	}{{"raw", false}, {"compressed", true}} {
+		path := filepath.Join(dir, tc.name+".csr")
+		if err := WriteCSRFile(path, pg, tc.compress); err != nil {
+			t.Fatalf("%s: write: %v", tc.name, err)
+		}
+		if err := VerifyCSRFile(path); err != nil {
+			t.Fatalf("%s: relabeled file fails verify: %v", tc.name, err)
+		}
+		loaded, err := LoadCSR(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(loaded.Off, pg.Off) || !reflect.DeepEqual(loaded.Adj, pg.Adj) {
+			t.Fatalf("%s: loaded relabeled graph differs from written one", tc.name)
+		}
+	}
+}
+
+// TestRelabelView checks every invariant of the engine view for every
+// family: mutually inverse Orig/New, degree preservation, original-order
+// adjacency (AdjOrig ascending per vertex), a true Rev involution, and
+// SlotOrig consistency with the original storage.
+func TestRelabelView(t *testing.T) {
+	for _, fg := range familyGraphs(t) {
+		fam, g := fg.fam, fg.g
+		rg := Relabel(g)
+		pm := rg.Perm
+		if pm == nil {
+			t.Fatalf("%s: Relabel returned no Relabeling", fam)
+		}
+		if rg.N() != g.N() || rg.M() != g.M() {
+			t.Fatalf("%s: view changed the graph size", fam)
+		}
+		if Relabel(rg) != rg {
+			t.Fatalf("%s: Relabel of a view must be the identity", fam)
+		}
+		for v := 0; v < g.N(); v++ {
+			if pm.New[pm.Orig[v]] != int32(v) || pm.Orig[pm.New[v]] != int32(v) {
+				t.Fatalf("%s: Orig/New are not mutual inverses at %d", fam, v)
+			}
+			if rg.Degree(int(pm.New[v])) != g.Degree(v) {
+				t.Fatalf("%s: degree of %d changed under relabeling", fam, v)
+			}
+		}
+		slotSeen := make([]bool, len(g.Adj))
+		for nv := 0; nv < rg.N(); nv++ {
+			u := pm.Orig[nv]
+			lo, hi := rg.Off[nv], rg.Off[nv+1]
+			for p := lo; p < hi; p++ {
+				k := p - lo
+				if p > lo && pm.AdjOrig[p] <= pm.AdjOrig[p-1] {
+					t.Fatalf("%s: AdjOrig not ascending within vertex %d", fam, nv)
+				}
+				if pm.AdjOrig[p] != pm.Orig[rg.Adj[p]] {
+					t.Fatalf("%s: AdjOrig[%d] disagrees with Adj", fam, p)
+				}
+				// Same logical neighbor as the unrelabeled k-th neighbor.
+				if want := g.Adj[g.Off[u]+k]; pm.AdjOrig[p] != want {
+					t.Fatalf("%s: view neighbor %d of %d is %d, want %d", fam, k, u, pm.AdjOrig[p], want)
+				}
+				// SlotOrig maps to the matching original position, once.
+				po := pm.SlotOrig[p]
+				if po != g.Off[u]+k || slotSeen[po] {
+					t.Fatalf("%s: SlotOrig[%d] = %d is wrong or duplicated", fam, p, po)
+				}
+				slotSeen[po] = true
+				// Rev is an involution landing inside the neighbor's range.
+				rp := rg.Rev[p]
+				if rg.Rev[rp] != p {
+					t.Fatalf("%s: Rev is not an involution at %d", fam, p)
+				}
+				w := rg.Adj[p]
+				if rp < rg.Off[w] || rp >= rg.Off[w+1] || rg.Adj[rp] != int32(nv) {
+					t.Fatalf("%s: Rev[%d] does not point back to %d", fam, p, nv)
+				}
+			}
+		}
+	}
+}

@@ -31,6 +31,10 @@ type Run struct {
 	Size int
 	// ActivePerRound records the decay of active vertices.
 	ActivePerRound []int
+	// StepShards is the shard count the step backend ran with (autotuned
+	// when Params.StepShards was 0); 0 for the other backends. Results are
+	// invariant in it — this is layout provenance, not a measure.
+	StepShards int
 
 	// The remaining fields are degradation accounting for adversarial
 	// (scenario) runs; fault-free runs report Converged true and zeros.
@@ -69,6 +73,7 @@ func FromResult(alg, g string, n, m, arbor int, seed int64, res *engine.Result) 
 		Colors:         -1,
 		Size:           -1,
 		ActivePerRound: res.ActivePerRound,
+		StepShards:     res.Shards,
 
 		Converged:         true,
 		Dropped:           res.Dropped,

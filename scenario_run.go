@@ -29,11 +29,18 @@ func (alg Algorithm) runScenario(g *Graph, p Params) (Report, error) {
 		return Report{}, fmt.Errorf("vavg: %s on %s: %w", alg.Name, g.Name, err)
 	}
 
+	// Only the base run uses the relabeled view: repair epochs re-execute
+	// on dynamically edited graphs (fresh structures with no cached view,
+	// and a tiny affected region), and all their indexing is original-ID.
+	rg, err := relabelFor(g, p)
+	if err != nil {
+		return Report{}, fmt.Errorf("vavg: %s on %s: %w", alg.Name, g.Name, err)
+	}
 	eng := engine.Spec{Program: alg.program(p)}
 	if alg.step != nil {
 		eng.Step = alg.step(p)
 	}
-	res, err := engine.RunSpec(g, eng, engine.Options{
+	res, err := engine.RunSpec(rg, eng, engine.Options{
 		Seed: p.Seed, MaxRounds: p.MaxRounds, Backend: p.Backend, Adv: adv, StepShards: p.StepShards,
 	})
 	converged := true

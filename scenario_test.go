@@ -143,6 +143,8 @@ func TestScenarioEquivalenceAcrossBackends(t *testing.T) {
 					if res == nil {
 						t.Fatalf("scenario %d backend %s: %v", si, backend, err)
 					}
+					// Shards is layout provenance, excluded from equivalence.
+					res.Shards = 0
 					results = append(results, outcome{res, err != nil})
 				}
 				base := results[0]

@@ -101,6 +101,14 @@ type Params struct {
 	// reproduces the same shard layout on any machine. Ignored by the
 	// other backends.
 	StepShards int
+	// Relabel selects the engine's vertex-relabeling layout pass: "rcm"
+	// runs the engine on a reverse Cuthill–McKee view of the graph for
+	// cache locality (DESIGN.md §11), ""/"off"/"none" run the graph as
+	// stored. The relabeling is purely physical — vertex IDs, PRNG
+	// streams, inbox order, and adversary decisions all stay in
+	// original-ID space, and Results are byte-identical to an unrelabeled
+	// run. Views are memoized per graph in the shared cache.
+	Relabel string
 	// SweepWorkers bounds the sweep scheduler's concurrency: Sweep fans
 	// its (size, seed) run points across this many goroutines. 0 means
 	// runtime.GOMAXPROCS. Worker count never changes results — parallel
@@ -190,11 +198,17 @@ func (alg Algorithm) Run(g *Graph, p Params) (Report, error) {
 	if p.Scenario != nil && !p.Scenario.IsZero() {
 		return alg.runScenario(g, p)
 	}
+	rg, err := relabelFor(g, p)
+	if err != nil {
+		return Report{}, fmt.Errorf("vavg: %s on %s: %w", alg.Name, g.Name, err)
+	}
 	spec := engine.Spec{Program: alg.program(p)}
 	if alg.step != nil {
 		spec.Step = alg.step(p)
 	}
-	res, err := engine.RunSpec(g, spec, engine.Options{Seed: p.Seed, MaxRounds: p.MaxRounds, Backend: p.Backend, StepShards: p.StepShards})
+	// The engine runs on the (possibly relabeled) view; the audit and the
+	// report below keep using g — Results are unmapped to original IDs.
+	res, err := engine.RunSpec(rg, spec, engine.Options{Seed: p.Seed, MaxRounds: p.MaxRounds, Backend: p.Backend, StepShards: p.StepShards})
 	if err != nil {
 		return Report{}, fmt.Errorf("vavg: %s on %s: %w", alg.Name, g.Name, err)
 	}
