@@ -6,18 +6,29 @@
 // Analyzers: detorder (map-iteration order must not reach results),
 // noglobalrand (vertex code draws only from the per-vertex seeded PRNG),
 // stepcontract (step-form programs never block), wiretag (fast-lane tags
-// come from internal/wire constants), and hotpath (//vavg:hotpath
-// functions stay allocation-free). Suppress a deliberate exception with
-// //lint:ignore <analyzer> <reason> on or directly above the flagged
-// line; //lint:file-ignore covers a whole file.
+// come from internal/wire constants), hotpath (//vavg:hotpath functions
+// stay allocation-free), plus the interprocedural pair: detflow
+// (determinism taint must not reach messages, Results, or adversary
+// hashing through any call chain) and payloadwire (every concrete type
+// entering the any message lane must be wire-codable). Suppress a
+// deliberate exception with //lint:ignore <analyzer> <reason> on or
+// directly above the flagged line; //lint:file-ignore covers a whole
+// file.
 //
-// Exit status: 0 clean, 1 findings, 2 load or usage errors.
+// -json emits one JSON object per finding (analyzer, position, message,
+// suppression state), suppressed findings included so consumers can audit
+// them; text mode prints active findings only. -closure prints the
+// any-lane payload type closure the payloadwire analyzer certified.
+//
+// Exit status: 0 clean, 1 active findings, 2 load or usage errors.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"vavg/internal/analysis"
@@ -25,9 +36,12 @@ import (
 
 func main() {
 	var (
-		names = flag.String("analyzers", "", "comma-separated subset to run (default: all)")
-		list  = flag.Bool("list", false, "list analyzers and exit")
-		dir   = flag.String("C", ".", "module directory to run in")
+		names   = flag.String("analyzers", "", "comma-separated subset to run (default: all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		dir     = flag.String("C", ".", "module directory to run in")
+		jsonOut = flag.Bool("json", false, "emit findings as JSON Lines (suppressed findings included, marked)")
+		workers = flag.Int("workers", 0, "concurrent type-check/analysis workers (0 = GOMAXPROCS)")
+		closure = flag.Bool("closure", false, "print the any-lane payload type closure and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: vavglint [flags] [packages]\n\nFlags:\n")
@@ -63,17 +77,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	loader.Workers = *workers
 	pkgs, err := loader.LoadPackages(patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	diags := analysis.RunAnalyzers(analyzers, pkgs)
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *closure {
+		for _, line := range analysis.ComputeFacts(pkgs).LaneClosure() {
+			fmt.Println(line)
+		}
+		return
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "vavglint: %d finding(s)\n", len(diags))
+
+	diags := analysis.RunAnalyzersN(analyzers, pkgs, *workers)
+	active := analysis.Active(diags)
+	if *jsonOut {
+		baseDir, err := filepath.Abs(*dir)
+		if err != nil {
+			baseDir = *dir
+		}
+		w := bufio.NewWriter(os.Stdout)
+		if err := analysis.WriteJSON(w, diags, baseDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		w.Flush()
+	} else {
+		for _, d := range active {
+			fmt.Println(d)
+		}
+	}
+	if len(active) > 0 {
+		fmt.Fprintf(os.Stderr, "vavglint: %d finding(s)\n", len(active))
 		os.Exit(1)
 	}
 }

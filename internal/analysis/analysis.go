@@ -31,8 +31,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer describes one vavglint check.
@@ -47,6 +49,10 @@ type Analyzer struct {
 	// SkipPkgs lists import paths the analyzer never inspects (typically
 	// the package that implements the contract being enforced).
 	SkipPkgs []string
+	// NeedsFacts marks an interprocedural analyzer: before any unit runs,
+	// RunAnalyzers computes module-wide function summaries (facts.go) over
+	// every loaded unit and exposes them through Pass.Facts.
+	NeedsFacts bool
 }
 
 // A Pass connects an Analyzer to one type-checked package unit.
@@ -56,6 +62,10 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Facts is the module-wide interprocedural fact store, non-nil only
+	// when the analyzer set includes one with NeedsFacts. It is shared and
+	// read-only during analyzer application.
+	Facts *Facts
 
 	suppr *suppressions
 	diags *[]Diagnostic
@@ -66,23 +76,27 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Suppressed marks a finding covered by a //lint:ignore or
+	// //lint:file-ignore directive. Suppressed findings never gate (text
+	// output, exit status, and the clean-tree tests all filter them) but
+	// are retained so machine consumers (-json) can audit suppression
+	// state.
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
 }
 
-// Reportf records a finding at pos unless a //lint:ignore directive for
-// this analyzer covers the position.
+// Reportf records a finding at pos; if a //lint:ignore directive for this
+// analyzer covers the position the finding is recorded as suppressed.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.suppr.covers(p.Analyzer.Name, position) {
-		return
-	}
 	*p.diags = append(*p.diags, Diagnostic{
-		Pos:      position,
-		Analyzer: p.Analyzer.Name,
-		Message:  fmt.Sprintf(format, args...),
+		Pos:        position,
+		Analyzer:   p.Analyzer.Name,
+		Message:    fmt.Sprintf(format, args...),
+		Suppressed: p.suppr.covers(p.Analyzer.Name, position),
 	})
 }
 
@@ -177,28 +191,66 @@ func (s *suppressions) covers(analyzer string, pos token.Position) bool {
 }
 
 // RunAnalyzers applies every analyzer to every package unit and returns
-// the surviving findings sorted by position. Malformed suppression
-// directives are themselves reported once per unit.
+// the findings (suppressed ones included, marked) sorted by position.
+// Units are analyzed concurrently on GOMAXPROCS workers; see
+// RunAnalyzersN.
 func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		suppr := newSuppressions(pkg.Fset, pkg.Syntax)
-		diags = append(diags, suppr.malformed...)
-		for _, a := range analyzers {
-			if skipPkg(a, pkg.Types.Path()) {
-				continue
-			}
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Syntax,
-				Pkg:      pkg.Types,
-				Info:     pkg.TypesInfo,
-				suppr:    suppr,
-				diags:    &diags,
-			}
-			a.Run(pass)
+	return RunAnalyzersN(analyzers, pkgs, 0)
+}
+
+// RunAnalyzersN is RunAnalyzers on a bounded worker pool: units are
+// analyzed concurrently by up to workers goroutines (0 means GOMAXPROCS),
+// each into its own slot, and the merged findings are sorted into
+// (file, line, column, analyzer) order — byte-identical output for every
+// worker count. If any analyzer declares NeedsFacts, the module-wide fact
+// store is computed first, serially, over every unit. Malformed
+// suppression directives are themselves reported once per unit.
+func RunAnalyzersN(analyzers []*Analyzer, pkgs []*Package, workers int) []Diagnostic {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var facts *Facts
+	for _, a := range analyzers {
+		if a.NeedsFacts {
+			facts = ComputeFacts(pkgs)
+			break
 		}
+	}
+	perUnit := make([][]Diagnostic, len(pkgs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var diags []Diagnostic
+			suppr := newSuppressions(pkg.Fset, pkg.Syntax)
+			diags = append(diags, suppr.malformed...)
+			for _, a := range analyzers {
+				if skipPkg(a, pkg.Types.Path()) {
+					continue
+				}
+				pass := &Pass{
+					Analyzer: a,
+					Fset:     pkg.Fset,
+					Files:    pkg.Syntax,
+					Pkg:      pkg.Types,
+					Info:     pkg.TypesInfo,
+					Facts:    facts,
+					suppr:    suppr,
+					diags:    &diags,
+				}
+				a.Run(pass)
+			}
+			perUnit[i] = diags
+		}(i, pkg)
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for _, d := range perUnit {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -223,6 +275,18 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 		deduped = append(deduped, d)
 	}
 	return deduped
+}
+
+// Active filters out suppressed findings: the gating subset of a
+// RunAnalyzers result.
+func Active(diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 func skipPkg(a *Analyzer, path string) bool {

@@ -4,7 +4,7 @@ import "fmt"
 
 // All returns the full vavglint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Detorder, Noglobalrand, Stepcontract, Wiretag, Hotpath, Scenarioseam, Shardseam, Lanepad}
+	return []*Analyzer{Detorder, Noglobalrand, Stepcontract, Wiretag, Hotpath, Scenarioseam, Shardseam, Lanepad, Detflow, Payloadwire}
 }
 
 // ByName resolves a comma-separable analyzer name.
@@ -14,5 +14,5 @@ func ByName(name string) (*Analyzer, error) {
 			return a, nil
 		}
 	}
-	return nil, fmt.Errorf("analysis: unknown analyzer %q (available: detorder, noglobalrand, stepcontract, wiretag, hotpath, scenarioseam, shardseam, lanepad)", name)
+	return nil, fmt.Errorf("analysis: unknown analyzer %q (available: detorder, noglobalrand, stepcontract, wiretag, hotpath, scenarioseam, shardseam, lanepad, detflow, payloadwire)", name)
 }

@@ -128,7 +128,7 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	if err != nil {
 		t.Fatalf("antest: loading fixture %s: %v", abs, err)
 	}
-	diags := analysis.RunAnalyzers([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+	diags := analysis.Active(analysis.RunAnalyzers([]*analysis.Analyzer{a}, []*analysis.Package{pkg}))
 
 	for _, d := range diags {
 		matched := false

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vavg/internal/analysis"
+	"vavg/internal/analysis/antest"
+)
+
+func TestDetflow(t *testing.T) {
+	antest.Run(t, analysis.Detflow, "testdata/detflow")
+}
+
+// TestDetflowFileIgnoreExportsFacts pins the suppression/fact contract:
+// //lint:file-ignore silences findings in its own file but the file's
+// functions still export real summaries, so cross-file callers are
+// flagged (the want expectation lives in the caller's file).
+func TestDetflowFileIgnoreExportsFacts(t *testing.T) {
+	antest.Run(t, analysis.Detflow, "testdata/detflowfacts")
+}

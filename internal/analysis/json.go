@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// diagJSON is the machine-readable form of one finding: one object per
+// line (JSON Lines), so CI and editors can consume findings without
+// scraping text. File paths are emitted relative to baseDir (the module
+// root) with forward slashes, which is both stable across checkouts and
+// the format GitHub workflow annotations expect.
+type diagJSON struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// WriteJSON emits diags as JSON Lines to w. Suppressed findings are
+// included (marked) so consumers can audit suppression state; gate on the
+// Active subset, not on output presence.
+func WriteJSON(w io.Writer, diags []Diagnostic, baseDir string) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if baseDir != "" {
+			if rel, err := filepath.Rel(baseDir, file); err == nil {
+				file = rel
+			}
+		}
+		j := diagJSON{
+			Analyzer:   d.Analyzer,
+			File:       filepath.ToSlash(file),
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		}
+		if err := enc.Encode(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}

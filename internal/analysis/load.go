@@ -14,7 +14,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 )
 
 // The loader type-checks module packages without golang.org/x/tools and
@@ -23,6 +26,13 @@ import (
 // build cache, and go/importer's gc importer reads those files back
 // through a lookup function. Target packages themselves are parsed from
 // source so analyzers get full syntax trees with comments.
+//
+// Units are independent — imports always resolve through export data,
+// never through another unit's in-memory result — so LoadPackages checks
+// them on a bounded worker pool, scheduled in dependency waves (a package
+// is checked only after every module package it imports) to keep the
+// shared importer's cache warm bottom-up. The result slice order is the
+// go list output order regardless of worker count.
 
 // A Package is one type-checked unit: a package's compiled files plus its
 // in-package test files, or the external (_test-suffixed) test package.
@@ -46,6 +56,9 @@ type listPkg struct {
 	GoFiles       []string
 	TestGoFiles   []string
 	XTestGoFiles  []string
+	Imports       []string
+	TestImports   []string
+	XTestImports  []string
 	Error         *listErr
 	DepsErrors    []*listErr
 	InvalidGoFile string
@@ -62,9 +75,14 @@ type Loader struct {
 	// Dir is the module directory go commands run in.
 	Dir  string
 	Fset *token.FileSet
+	// Workers bounds the concurrent type-checking workers LoadPackages
+	// uses; 0 means GOMAXPROCS. The returned package order and contents
+	// are identical for every worker count.
+	Workers int
 
 	exports map[string]string
 	imp     types.Importer
+	impMu   sync.Mutex // the gc importer's cache is not safe for concurrent Import calls
 }
 
 // NewLoader builds a loader for the module rooted at dir, with export
@@ -113,10 +131,30 @@ func NewLoader(dir string, patterns ...string) (*Loader, error) {
 	return l, nil
 }
 
+// Import serializes access to the underlying gc importer, whose package
+// cache is not safe for concurrent use. Loader itself is the
+// types.Importer handed to every concurrent type-check.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	l.impMu.Lock()
+	defer l.impMu.Unlock()
+	return l.imp.Import(path)
+}
+
+// unit is one pending type-check: a prospective Package plus the module
+// packages it imports (its scheduling dependencies).
+type unit struct {
+	path    string
+	dir     string
+	files   []string
+	imports []string
+}
+
 // LoadPackages parses and type-checks the module packages matching the
 // patterns (default ./...). Each package yields up to two units: its
-// compiled plus in-package test files, and its external test package. The
-// tree must compile; any parse, list, or type error fails the load.
+// compiled plus in-package test files, and its external test package.
+// Units are checked concurrently on Workers goroutines in dependency
+// waves; results keep go list order. The tree must compile; any parse,
+// list, or type error fails the load.
 func (l *Loader) LoadPackages(patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -126,7 +164,8 @@ func (l *Loader) LoadPackages(patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var pkgs []*Package
+	var units []unit
+	targets := map[string]bool{}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPkg
@@ -139,35 +178,124 @@ func (l *Loader) LoadPackages(patterns ...string) ([]*Package, error) {
 		if p.Error != nil {
 			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
 		}
-		units := []struct {
-			path  string
-			files []string
-		}{
-			{p.ImportPath, append(append([]string{}, p.GoFiles...), p.TestGoFiles...)},
-			{p.ImportPath + "_test", p.XTestGoFiles},
+		targets[p.ImportPath] = true
+		compiled := unit{
+			path:    p.ImportPath,
+			dir:     p.Dir,
+			files:   append(append([]string{}, p.GoFiles...), p.TestGoFiles...),
+			imports: append(append([]string{}, p.Imports...), p.TestImports...),
 		}
-		for _, u := range units {
+		xtest := unit{
+			path:    p.ImportPath + "_test",
+			dir:     p.Dir,
+			files:   p.XTestGoFiles,
+			imports: p.XTestImports, // includes p.ImportPath itself
+		}
+		for _, u := range []unit{compiled, xtest} {
 			if len(u.files) == 0 {
 				continue
 			}
-			full := make([]string, len(u.files))
 			for i, f := range u.files {
-				full[i] = filepath.Join(p.Dir, f)
+				u.files[i] = filepath.Join(p.Dir, f)
 			}
-			pkg, err := l.CheckFiles(u.path, full)
-			if err != nil {
-				return nil, err
-			}
-			pkg.Dir = p.Dir
-			pkgs = append(pkgs, pkg)
+			units = append(units, u)
 		}
 	}
-	return pkgs, nil
+	return l.checkUnits(units, targets)
+}
+
+// checkUnits type-checks every unit on a bounded worker pool, in waves of
+// the module-local import DAG: wave k holds the units all of whose
+// module-package imports were checked in earlier waves. The importer is
+// shared (and serialized), so bottom-up scheduling means each dependency's
+// export data is parsed once, early, instead of racing first-use.
+func (l *Loader) checkUnits(units []unit, targets map[string]bool) ([]*Package, error) {
+	workers := l.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Dependency level of each unit: 1 + max level over module imports.
+	// The compiled unit of package p "is" p for scheduling; xtest units
+	// import their own package, landing a wave later automatically.
+	level := map[string]int{}
+	var unitLevel func(path string, seen map[string]bool) int
+	byPath := map[string]*unit{}
+	for i := range units {
+		byPath[units[i].path] = &units[i]
+	}
+	unitLevel = func(path string, seen map[string]bool) int {
+		if lv, ok := level[path]; ok {
+			return lv
+		}
+		u, ok := byPath[path]
+		if !ok || seen[path] {
+			return 0 // non-target import, or a cycle go list would have rejected
+		}
+		seen[path] = true
+		lv := 0
+		for _, imp := range u.imports {
+			if targets[imp] && imp != path {
+				if d := unitLevel(imp, seen) + 1; d > lv {
+					lv = d
+				}
+			}
+		}
+		delete(seen, path)
+		level[path] = lv
+		return lv
+	}
+	maxLevel := 0
+	for i := range units {
+		if lv := unitLevel(units[i].path, map[string]bool{}); lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+
+	pkgs := make([]*Package, len(units))
+	errs := make([]error, len(units))
+	for lv := 0; lv <= maxLevel; lv++ {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := range units {
+			if level[units[i].path] != lv {
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				pkg, err := l.CheckFiles(units[i].path, units[i].files)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				pkg.Dir = units[i].dir
+				pkgs[i] = pkg
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*Package, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
 }
 
 // CheckFiles parses and type-checks the given source files as one package
 // with the given import path, resolving imports through the loader's
-// export data. Fixture packages under testdata load through here.
+// export data. Fixture packages under testdata load through here. Safe
+// for concurrent use: the FileSet is internally synchronized and the
+// importer access is serialized.
 func (l *Loader) CheckFiles(path string, filenames []string) (*Package, error) {
 	var files []*ast.File
 	for _, name := range filenames {
@@ -179,6 +307,7 @@ func (l *Loader) CheckFiles(path string, filenames []string) (*Package, error) {
 	}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
 		Defs:       map[*ast.Ident]types.Object{},
 		Uses:       map[*ast.Ident]types.Object{},
 		Implicits:  map[ast.Node]types.Object{},
@@ -187,13 +316,14 @@ func (l *Loader) CheckFiles(path string, filenames []string) (*Package, error) {
 	}
 	var typeErrs []string
 	conf := types.Config{
-		Importer: l.imp,
+		Importer: l,
 		Error: func(err error) {
 			typeErrs = append(typeErrs, err.Error())
 		},
 	}
 	tpkg, _ := conf.Check(path, l.Fset, files, info)
 	if len(typeErrs) > 0 {
+		sort.Strings(typeErrs)
 		return nil, fmt.Errorf("analysis: type-checking %s:\n\t%s", path, strings.Join(typeErrs, "\n\t"))
 	}
 	return &Package{Fset: l.Fset, Syntax: files, Types: tpkg, TypesInfo: info}, nil

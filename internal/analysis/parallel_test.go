@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"reflect"
+	"testing"
+
+	"vavg/internal/analysis"
+	"vavg/internal/analysis/antest"
+)
+
+// TestDiagnosticsWorkerInvariant pins the parallel-analysis contract:
+// the diagnostic stream — content AND order — is identical for every
+// worker count, on the loader side (dependency-wave type-checking) and
+// the analysis side (per-unit fan-out with a sorted merge).
+func TestDiagnosticsWorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide load in -short mode")
+	}
+	root, err := antest.ModuleRoot()
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	run := func(workers int) []analysis.Diagnostic {
+		l, err := analysis.NewLoader(root)
+		if err != nil {
+			t.Fatalf("loader: %v", err)
+		}
+		l.Workers = workers
+		pkgs, err := l.LoadPackages("./...")
+		if err != nil {
+			t.Fatalf("loading (workers=%d): %v", workers, err)
+		}
+		return analysis.RunAnalyzersN(analysis.All(), pkgs, workers)
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("diagnostics differ between 1 and 8 workers:\nserial:   %v\nparallel: %v", serial, parallel)
+	}
+}

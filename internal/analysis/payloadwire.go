@@ -1,0 +1,58 @@
+package analysis
+
+import "go/types"
+
+// Payloadwire enforces the wire-serializability contract that cluster
+// mode (ROADMAP: TCP deployment seam over the step backend's shards)
+// depends on: every concrete type that can enter the engine's `any`
+// message lane — api.Send/SendID/Broadcast payloads, exec.Done outputs,
+// and Program return values — must be able to cross a process boundary.
+//
+// The lane closure is computed module-wide by the fact layer (facts.go):
+// lane-ness propagates backwards through helper parameters and results,
+// so a payload built three calls away from the Send is still found. Each
+// concrete type in the closure must either be structurally wire-codable
+// (bottoming out in booleans, numbers, strings, and slices/arrays/structs
+// of the same) or have a codec registered with wire.Register[T]. Types
+// containing pointers, maps, channels, funcs, or nested interfaces are
+// rejected; so are lane entries whose concrete type cannot be resolved
+// statically (an opaque payload is exactly what the deployment seam
+// cannot serialize). Findings are reported at the earliest entry site of
+// the offending type, in the unit that owns that file.
+var Payloadwire = &Analyzer{
+	Name:       "payloadwire",
+	Doc:        "every concrete type entering the any message lane must be wire-codable (cluster-mode precondition)",
+	Run:        runPayloadwire,
+	NeedsFacts: true,
+	SkipPkgs:   []string{execPath},
+}
+
+func runPayloadwire(pass *Pass) {
+	if pass.Facts == nil {
+		return
+	}
+	// The closure is global; report each finding in the unit that owns the
+	// entry site so suppressions and per-unit parallelism behave normally.
+	// (Compiled and xtest units never share non-test files, so exactly one
+	// unit reports each site; the merge layer dedups regardless.)
+	own := map[string]bool{}
+	for _, f := range pass.Files {
+		own[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, e := range pass.Facts.laneEntries {
+		if !own[e.position.Filename] {
+			continue
+		}
+		if bad := pass.Facts.wireBad(e.typ, map[types.Type]bool{}); bad != "" {
+			pass.Reportf(e.pos, "payload type %s enters the any message lane but cannot cross a wire: %s; register an internal/wire codec or use a wire-codable representation",
+				e.key, bad)
+		}
+	}
+	for _, o := range pass.Facts.laneOpaque {
+		if !own[o.position.Filename] {
+			continue
+		}
+		pass.Reportf(o.pos, "%s enters the any message lane; its concrete payload type cannot be determined statically, so it cannot be certified wire-codable — pass the concrete value or route through a declared helper",
+			o.desc)
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vavg/internal/analysis"
+	"vavg/internal/analysis/antest"
+)
+
+func TestPayloadwire(t *testing.T) {
+	antest.Run(t, analysis.Payloadwire, "testdata/payloadwire")
+}

@@ -20,7 +20,7 @@ func TestSuiteCleanOnModule(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loader returned no packages")
 	}
-	diags := analysis.RunAnalyzers(analysis.All(), pkgs)
+	diags := analysis.Active(analysis.RunAnalyzers(analysis.All(), pkgs))
 	for _, d := range diags {
 		t.Errorf("finding on clean tree: %s", d)
 	}

@@ -1,0 +1,74 @@
+// Fixture for the payloadwire analyzer: concrete types entering the any
+// message lane must be wire-codable — structurally, or via a registered
+// internal/wire codec.
+package fixture
+
+import (
+	"vavg/internal/engine/exec"
+	"vavg/internal/wire"
+)
+
+// goodPayload bottoms out in integers and slices: structurally codable.
+type goodPayload struct {
+	Round  int32
+	Labels []int32
+}
+
+// badPointer carries a pointer into the sender's address space.
+type badPointer struct {
+	Peer *goodPayload
+}
+
+// badMap carries a map with no canonical byte order and no codec.
+type badMap struct {
+	Labels map[int32]int32
+}
+
+// codecPayload carries a map too, but registers a codec below, which
+// licenses it on the lane.
+type codecPayload struct {
+	Labels map[int32]int32
+}
+
+func init() {
+	wire.Register(wire.Codec[codecPayload]{
+		Name: "fixture.codecPayload",
+		Encode: func(buf []byte, v codecPayload) []byte {
+			return wire.AppendSortedInt32Map(buf, v.Labels)
+		},
+		Decode: func(buf []byte) (codecPayload, int, error) {
+			m, n, err := wire.DecodeSortedInt32Map(buf, 1<<16)
+			return codecPayload{Labels: m}, n, err
+		},
+	})
+}
+
+func sendGood(api *exec.API, p goodPayload) {
+	api.Send(0, p)
+}
+
+func sendPointer(api *exec.API, p badPointer) {
+	api.Send(0, p) // want `payload type .*badPointer enters the any message lane but cannot cross a wire: field Peer: pointer`
+}
+
+// viaHelper shows the closure crossing a helper: the payload enters the
+// lane at the helper's parameter, and the type is still resolved here.
+func viaHelper(api *exec.API, b badMap) {
+	forward(api, b) // want `payload type .*badMap enters the any message lane but cannot cross a wire: field Labels: map`
+}
+
+func forward(api *exec.API, v any) {
+	api.Broadcast(v)
+}
+
+func sendWithCodec(api *exec.API, p codecPayload) {
+	api.Broadcast(p)
+}
+
+// program returns through the Program shape: the output lands in
+// Result.Output, which is lane traffic too. A chan can never cross.
+func program(ch chan int32) func(*exec.API) any {
+	return func(api *exec.API) any {
+		return ch // want `payload type chan int32 enters the any message lane but cannot cross a wire`
+	}
+}

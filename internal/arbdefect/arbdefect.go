@@ -275,7 +275,7 @@ func OnePlusEta(a int, eps float64, C int) engine.Program {
 		rSync := maxInt(ell+2, hEnd)
 
 		for int32(api.Round()) < int32(r) && tr.HIndex == 0 {
-			tr.Step(api, nil)
+			tr.Step(api)
 		}
 		if tr.HIndex != 0 {
 			for api.Round() < r {
@@ -286,7 +286,7 @@ func OnePlusEta(a int, eps float64, C int) engine.Program {
 		}
 		// Residual: finish the partition, then run the same stage.
 		for tr.HIndex == 0 {
-			tr.Step(api, nil)
+			tr.Step(api)
 		}
 		for api.Round() < ell {
 			tr.Absorb(api, api.Next())
@@ -317,7 +317,7 @@ func LegalColoringWC(a int, eps float64, C int) engine.Program {
 		ell := hpartition.EllBound(n, eps)
 		tr := hpartition.NewTracker(api, a, eps)
 		for tr.HIndex == 0 {
-			tr.Step(api, nil)
+			tr.Step(api)
 		}
 		for api.Round() < ell {
 			tr.Absorb(api, api.Next())

@@ -233,7 +233,7 @@ func OnePlusEtaStep(a int, eps float64, C int) engine.StepProgram {
 			if tr.HIndex != 0 {
 				return sleepTo(api, tr, rSync, stageR)
 			}
-			tr.Advance(api, nil)
+			tr.Advance(api)
 			return engine.Continue(partR)
 		}
 		decide := func(api *engine.API) engine.Step {
@@ -241,11 +241,11 @@ func OnePlusEtaStep(a int, eps float64, C int) engine.StepProgram {
 				return sleepTo(api, tr, hSync, stageH)
 			}
 			if api.Round() < r {
-				tr.Advance(api, nil)
+				tr.Advance(api)
 				return engine.Continue(partH)
 			}
 			// Residual: finish the partition, then run the same stage.
-			tr.Advance(api, nil)
+			tr.Advance(api)
 			return engine.Continue(partR)
 		}
 		partH = func(api *engine.API, inbox []engine.Msg) engine.Step {
@@ -276,11 +276,11 @@ func LegalColoringWCStep(a int, eps float64, C int) engine.StepProgram {
 			if tr.HIndex != 0 {
 				return sleepTo(api, tr, ell+2, stage)
 			}
-			tr.Advance(api, nil)
+			tr.Advance(api)
 			return engine.Continue(part)
 		}
 		return func(api *engine.API, _ []engine.Msg) engine.Step {
-			tr.Advance(api, nil)
+			tr.Advance(api)
 			return engine.Continue(part)
 		}
 	}

@@ -40,7 +40,7 @@ func wcDecomp(api *engine.API, a int, eps float64) *forest.Decomp {
 	d := forest.NewDecomp(api, a, eps)
 	ell := hpartition.EllBound(api.N(), eps)
 	for d.Tr.HIndex == 0 {
-		d.StepJoin(api, nil)
+		d.StepJoin(api)
 	}
 	for api.Round() < ell {
 		d.Tr.Absorb(api, api.Next())

@@ -54,7 +54,7 @@ func AColorLogLog(a int, eps float64) engine.Program {
 		// Iteration windows: one partition step, then either run the
 		// window as a new H-set member or idle through it.
 		for tr.HIndex == 0 {
-			joined, _ := tr.Step(api, nil)
+			joined, _ := tr.Step(api)
 			if !joined {
 				tr.Absorb(api, api.Idle(sch.W-1))
 			}

@@ -90,7 +90,7 @@ func TwoPhaseA2(a int, eps float64) engine.Program {
 		P := LinialFinalPalette(n, A)
 
 		for int32(api.Round()) < int32(t) && tr.HIndex == 0 {
-			tr.Step(api, nil)
+			tr.Step(api)
 		}
 		phase := 1
 		segLo, segHi := int32(0), int32(t)
@@ -100,7 +100,7 @@ func TwoPhaseA2(a int, eps float64) engine.Program {
 			phase = 2
 			segLo, segHi = int32(t), int32(ell)
 			for tr.HIndex == 0 {
-				tr.Step(api, nil)
+				tr.Step(api)
 			}
 			for api.Round() < ell {
 				tr.Absorb(api, api.Next())

@@ -296,7 +296,7 @@ func TwoPhaseA2Step(a int, eps float64) engine.StepProgram {
 			if tr.HIndex != 0 {
 				return joined(api)
 			}
-			tr.Advance(api, nil)
+			tr.Advance(api)
 			return engine.Continue(phase2)
 		}
 		var phase1 engine.StepFn
@@ -306,13 +306,13 @@ func TwoPhaseA2Step(a int, eps float64) engine.StepProgram {
 				return joined(api)
 			}
 			if int32(api.Round()) < int32(t) {
-				tr.Advance(api, nil)
+				tr.Advance(api)
 				return engine.Continue(phase1)
 			}
 			phase = 2
 			segLo, segHi = int32(t), int32(ell)
 			waitEnd = ell
-			tr.Advance(api, nil)
+			tr.Advance(api)
 			return engine.Continue(phase2)
 		}
 		return phase1
@@ -430,7 +430,7 @@ func AColorLogLogStep(a int, eps float64) engine.StepProgram {
 		var window, tail engine.StepFn
 		window = func(api *engine.API, inbox []engine.Msg) engine.Step {
 			tr.Absorb(api, inbox)
-			if tr.Advance(api, nil) {
+			if tr.Advance(api) {
 				return engine.Continue(js1)
 			}
 			return engine.Continue(tail)
@@ -440,7 +440,7 @@ func AColorLogLogStep(a int, eps float64) engine.StepProgram {
 			return engine.Sleep(sch.W-1, window)
 		}
 		return func(api *engine.API, _ []engine.Msg) engine.Step {
-			if tr.Advance(api, nil) {
+			if tr.Advance(api) {
 				return engine.Continue(js1)
 			}
 			return engine.Continue(tail)

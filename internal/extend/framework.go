@@ -63,7 +63,7 @@ func Framework(a int, eps float64, p Problem) engine.Program {
 		sink := func(ms []engine.Msg) { tr.Absorb(api, ms); fin.absorb(api, ms) }
 
 		for {
-			joined, msgs := tr.Step(api, nil)
+			joined, msgs := tr.Step(api)
 			fin.absorb(api, msgs)
 			if joined {
 				break

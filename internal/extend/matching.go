@@ -77,7 +77,7 @@ func MaximalMatching(a int, eps float64) engine.Program {
 		sink := func(ms []engine.Msg) { tr.Absorb(api, ms) }
 
 		for {
-			joined, _ := tr.Step(api, nil)
+			joined, _ := tr.Step(api)
 			if joined {
 				break
 			}

@@ -148,7 +148,7 @@ func FrameworkStep(a int, eps float64, p StepProblem) engine.StepProgram {
 		var window, tail engine.StepFn
 		window = func(api *engine.API, inbox []engine.Msg) engine.Step {
 			sink(inbox)
-			if tr.Advance(api, nil) {
+			if tr.Advance(api) {
 				return engine.Continue(js1)
 			}
 			return engine.Continue(tail)
@@ -158,7 +158,7 @@ func FrameworkStep(a int, eps float64, p StepProblem) engine.StepProgram {
 			return engine.Sleep(W-1, window)
 		}
 		return func(api *engine.API, _ []engine.Msg) engine.Step {
-			if tr.Advance(api, nil) {
+			if tr.Advance(api) {
 				return engine.Continue(js1)
 			}
 			return engine.Continue(tail)
@@ -252,6 +252,7 @@ func edgeProgramStep(a int, eps float64, mk func(api *engine.API) edgeRole) engi
 		}
 		startInter = func(api *engine.API) engine.Step {
 			if j > A {
+				//lint:ignore payloadwire role.output relays the same EdgeOutput / partner-ID values the blocking programs return at their own (certified) entry sites; a func-valued field is beyond static resolution
 				return engine.Done(role.output())
 			}
 			mine = interOut[j] >= 0 && role.wants()
@@ -339,7 +340,7 @@ func edgeProgramStep(a int, eps float64, mk func(api *engine.API) edgeRole) engi
 			return windowTop(api)
 		}
 		windowTop = func(api *engine.API) engine.Step {
-			if tr.Advance(api, nil) {
+			if tr.Advance(api) {
 				return engine.Continue(js1)
 			}
 			return engine.Continue(tailA)

@@ -1,0 +1,29 @@
+package extend
+
+import (
+	"vavg/internal/wire"
+)
+
+// maxWireAssigned bounds decoded assignment counts against corrupt input;
+// a head assigns at most one color per incident edge.
+const maxWireAssigned = 1 << 24
+
+// EdgeOutput carries a map, so cluster mode needs an explicit codec (see
+// forest.Output): sorted-key delta coding gives equal values identical
+// bytes on every replica, and the registration licenses EdgeOutput on the
+// any message lane under the payloadwire analyzer.
+func init() {
+	wire.Register(wire.Codec[EdgeOutput]{
+		Name: "extend.EdgeOutput",
+		Encode: func(buf []byte, o EdgeOutput) []byte {
+			return wire.AppendSortedInt32Map(buf, o.Assigned)
+		},
+		Decode: func(buf []byte) (EdgeOutput, int, error) {
+			m, n, err := wire.DecodeSortedInt32Map(buf, maxWireAssigned)
+			if err != nil {
+				return EdgeOutput{}, 0, err
+			}
+			return EdgeOutput{Assigned: m}, n, nil
+		},
+	})
+}

@@ -1,0 +1,30 @@
+package extend
+
+import (
+	"reflect"
+	"testing"
+
+	"vavg/internal/wire"
+)
+
+func TestEdgeOutputWireRoundTrip(t *testing.T) {
+	v := EdgeOutput{Assigned: map[int32]int32{7: 0, 1: 3, 4: -2}}
+	buf := wire.Encode(nil, v)
+	got, n, err := wire.Decode("extend.EdgeOutput", buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(buf))
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("round trip: got %+v want %+v", got, v)
+	}
+}
+
+func TestEdgeOutputWireRejectsCorrupt(t *testing.T) {
+	buf := wire.Encode(nil, EdgeOutput{Assigned: map[int32]int32{1: 2, 3: 4}})
+	if _, _, err := wire.Decode("extend.EdgeOutput", buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated EdgeOutput decoded without error")
+	}
+}

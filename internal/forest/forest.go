@@ -50,8 +50,8 @@ func NewDecomp(api *engine.API, a int, eps float64) *Decomp {
 }
 
 // StepJoin runs one partition round; see hpartition.Tracker.Step.
-func (d *Decomp) StepJoin(api *engine.API, attach any) (joined bool, msgs []engine.Msg) {
-	return d.Tr.Step(api, attach)
+func (d *Decomp) StepJoin(api *engine.API) (joined bool, msgs []engine.Msg) {
+	return d.Tr.Step(api)
 }
 
 // Settle runs the settle round that follows joining: it absorbs the
@@ -112,7 +112,7 @@ func (d *Decomp) Parents(api *engine.API) []int32 {
 // settle round. It returns the number of partition rounds used.
 func (d *Decomp) JoinAndSettle(api *engine.API) int {
 	for {
-		joined, _ := d.StepJoin(api, nil)
+		joined, _ := d.StepJoin(api)
 		if joined {
 			break
 		}

@@ -24,12 +24,12 @@ func (d *Decomp) Start(api *engine.API, done func() engine.Step) engine.Step {
 	var join engine.StepFn
 	join = func(api *engine.API, inbox []engine.Msg) engine.Step {
 		d.Tr.Absorb(api, inbox)
-		if d.Tr.Advance(api, nil) {
+		if d.Tr.Advance(api) {
 			return engine.Continue(settle1)
 		}
 		return engine.Continue(join)
 	}
-	if d.Tr.Advance(api, nil) {
+	if d.Tr.Advance(api) {
 		return engine.Continue(settle1)
 	}
 	return engine.Continue(join)
@@ -57,10 +57,10 @@ func (d *Decomp) StartWC(api *engine.API, ell int, done func() engine.Step) engi
 			}
 			return engine.Sleep(k, settle)
 		}
-		d.Tr.Advance(api, nil)
+		d.Tr.Advance(api)
 		return engine.Continue(join)
 	}
-	d.Tr.Advance(api, nil)
+	d.Tr.Advance(api)
 	return engine.Continue(join)
 }
 

@@ -1,0 +1,42 @@
+package forest
+
+import (
+	"fmt"
+
+	"vavg/internal/wire"
+)
+
+// maxWireLabels bounds decoded label counts against corrupt input; no
+// vertex labels more edges than it has neighbors, and 2^24 exceeds any
+// degree the engine's int32 vertex space can produce per adjacency list
+// in practice.
+const maxWireLabels = 1 << 24
+
+// Output carries a map, which has no canonical byte order of its own, so
+// cluster mode needs an explicit codec: ascending-key delta coding makes
+// equal Outputs byte-identical on every replica, which is what keeps
+// cross-process Results comparable. Registering it is also what licenses
+// Output to enter the any message lane under the payloadwire analyzer.
+func init() {
+	wire.Register(wire.Codec[Output]{
+		Name: "forest.Output",
+		Encode: func(buf []byte, o Output) []byte {
+			buf = wire.AppendUvarint(buf, uint64(uint32(o.H)))
+			return wire.AppendSortedInt32Map(buf, o.Labels)
+		},
+		Decode: func(buf []byte) (Output, int, error) {
+			h, n := wire.Uvarint(buf)
+			if n <= 0 {
+				return Output{}, 0, fmt.Errorf("forest: output H truncated")
+			}
+			if h > uint64(^uint32(0)>>1) {
+				return Output{}, 0, fmt.Errorf("forest: output H %d overflows int32", h)
+			}
+			labels, ln, err := wire.DecodeSortedInt32Map(buf[n:], maxWireLabels)
+			if err != nil {
+				return Output{}, 0, err
+			}
+			return Output{H: int32(h), Labels: labels}, n + ln, nil
+		},
+	})
+}

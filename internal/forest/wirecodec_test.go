@@ -1,0 +1,33 @@
+package forest
+
+import (
+	"reflect"
+	"testing"
+
+	"vavg/internal/wire"
+)
+
+func TestOutputWireRoundTrip(t *testing.T) {
+	v := Output{H: 3, Labels: map[int32]int32{9: 1, 2: 4, 5: -1}}
+	buf := wire.Encode(nil, v)
+	got, n, err := wire.Decode("forest.Output", buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(buf))
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("round trip: got %+v want %+v", got, v)
+	}
+}
+
+func TestOutputWireRejectsCorrupt(t *testing.T) {
+	buf := wire.Encode(nil, Output{H: 1, Labels: map[int32]int32{1: 2}})
+	if _, _, err := wire.Decode("forest.Output", buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated Output decoded without error")
+	}
+	if _, _, err := wire.Decode("forest.Output", nil); err == nil {
+		t.Fatal("empty Output decoded without error")
+	}
+}

@@ -58,14 +58,13 @@ func EllBound(n int, eps float64) int {
 }
 
 // Join is the message a vertex broadcasts in the round it joins an H-set.
-// Attach carries algorithm-specific piggybacked data (e.g., forest labels).
-// Attachment-free joins travel on the engine's integer fast lane as
-// wire.TagJoin instead of boxing a Join value.
+// Steady-state joins travel on the engine's integer fast lane as
+// wire.TagJoin; the struct form only rides the terminating Final broadcast
+// of standalone Program runs. It is a wire-codable payload by construction
+// (payloadwire enforces this): one plain int32, nothing address-shaped.
 type Join struct {
 	// Index is the H-set the sender joined (1-based).
 	Index int32
-	// Attach is optional algorithm-specific payload.
-	Attach any
 }
 
 // Tracker is the per-vertex state of Procedure Partition, for use inside
@@ -77,8 +76,6 @@ type Tracker struct {
 	HIndex int32
 	// NbrH[k] is the H-index of the k-th neighbor, or 0 while it is active.
 	NbrH []int32
-	// NbrAttach[k] is the Attach payload from the k-th neighbor's Join.
-	NbrAttach []any
 
 	activeDeg int
 	round     int32
@@ -89,7 +86,6 @@ func NewTracker(api *engine.API, a int, eps float64) *Tracker {
 	return &Tracker{
 		A:         ParamA(a, eps),
 		NbrH:      make([]int32, api.Degree()),
-		NbrAttach: make([]any, api.Degree()),
 		activeDeg: api.Degree(),
 	}
 }
@@ -101,7 +97,6 @@ func NewTracker(api *engine.API, a int, eps float64) *Tracker {
 func (t *Tracker) Absorb(api *engine.API, msgs []engine.Msg) {
 	for _, m := range msgs {
 		var idx int32
-		var attach any
 		if x, ok := m.AsInt(); ok {
 			// Fast-lane traffic: only TagJoin concerns the partition; other
 			// tags are a composed algorithm's own messages.
@@ -112,10 +107,10 @@ func (t *Tracker) Absorb(api *engine.API, msgs []engine.Msg) {
 		} else {
 			switch d := m.Data.(type) {
 			case Join:
-				idx, attach = d.Index, d.Attach
+				idx = d.Index
 			case engine.Final:
 				if j, ok := d.Output.(Join); ok {
-					idx, attach = j.Index, j.Attach
+					idx = j.Index
 				} else {
 					idx = -1 // terminated without a Join (foreign algorithm)
 				}
@@ -126,7 +121,6 @@ func (t *Tracker) Absorb(api *engine.API, msgs []engine.Msg) {
 		k := nbrIndex(api, m.From)
 		if t.NbrH[k] == 0 {
 			t.NbrH[k] = idx
-			t.NbrAttach[k] = attach
 			t.activeDeg--
 		}
 	}
@@ -153,36 +147,32 @@ func (t *Tracker) Eligible() bool {
 }
 
 // Advance executes the decision half of one partition round: if the
-// vertex is eligible it joins H-set number (t.round+1), broadcasting Join
-// with the given attachment, and Advance reports true. Step-form programs
-// call it once per turn, after absorbing the turn's inbox; blocking
-// callers use Step, which also crosses the engine round. It must not be
-// called after the vertex has joined.
-func (t *Tracker) Advance(api *engine.API, attach any) bool {
+// vertex is eligible it joins H-set number (t.round+1), broadcasting the
+// join on the integer fast lane, and Advance reports true. Step-form
+// programs call it once per turn, after absorbing the turn's inbox;
+// blocking callers use Step, which also crosses the engine round. It must
+// not be called after the vertex has joined.
+func (t *Tracker) Advance(api *engine.API) bool {
 	if t.HIndex != 0 {
 		panic("hpartition: partition round after joining")
 	}
 	t.round++
 	if t.activeDeg <= t.A {
 		t.HIndex = t.round
-		if attach == nil {
-			api.BroadcastInt(wire.Pack(wire.TagJoin, int64(t.round)))
-		} else {
-			api.Broadcast(Join{Index: t.round, Attach: attach})
-		}
+		api.BroadcastInt(wire.Pack(wire.TagJoin, int64(t.round)))
 		return true
 	}
 	return false
 }
 
 // Step executes one round of Procedure Partition: if the vertex is
-// eligible it joins H-set number (t.round+1), broadcasting Join with the
-// given attachment. It then advances one engine round and absorbs the
-// incoming messages. It returns whether the vertex joined in this round
-// and the full message batch (already absorbed) for further processing by
-// the caller. Step must not be called after the vertex has joined.
-func (t *Tracker) Step(api *engine.API, attach any) (joined bool, msgs []engine.Msg) {
-	joined = t.Advance(api, attach)
+// eligible it joins H-set number (t.round+1), broadcasting the join. It
+// then advances one engine round and absorbs the incoming messages. It
+// returns whether the vertex joined in this round and the full message
+// batch (already absorbed) for further processing by the caller. Step
+// must not be called after the vertex has joined.
+func (t *Tracker) Step(api *engine.API) (joined bool, msgs []engine.Msg) {
+	joined = t.Advance(api)
 	msgs = api.Next()
 	t.Absorb(api, msgs)
 	return joined, msgs

@@ -110,7 +110,7 @@ func TestTrackerComposedUse(t *testing.T) {
 	prog := func(api *engine.API) any {
 		tr := NewTracker(api, 2, 1)
 		for {
-			joined, _ := tr.Step(api, nil)
+			joined, _ := tr.Step(api)
 			if joined {
 				break
 			}

@@ -123,7 +123,7 @@ func ALogLog(a int, eps float64) engine.Program {
 		tr := hpartition.NewTracker(api, a, eps)
 
 		for int32(api.Round()) < int32(t) && tr.HIndex == 0 {
-			tr.Step(api, nil)
+			tr.Step(api)
 		}
 		finals := map[int]int32{} // neighbor index -> flat final color
 		absorb := func(msgs []engine.Msg) {
@@ -160,7 +160,7 @@ func ALogLog(a int, eps float64) engine.Program {
 		// or later-set neighbor to finalize before coloring on the shared
 		// phase-2 block.
 		for tr.HIndex == 0 {
-			tr.Step(api, nil)
+			tr.Step(api)
 		}
 		j := tr.HIndex
 		base := int32(t) * int32(A+1)

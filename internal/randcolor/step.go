@@ -160,7 +160,7 @@ func ALogLogStep(a int, eps float64) engine.StepProgram {
 		phase2 = func(api *engine.API, inbox []engine.Msg) engine.Step {
 			absorb(inbox)
 			if tr.HIndex == 0 {
-				tr.Advance(api, nil)
+				tr.Advance(api)
 				return engine.Continue(phase2)
 			}
 			return tryReady(api)
@@ -174,10 +174,10 @@ func ALogLogStep(a int, eps float64) engine.StepProgram {
 				return engine.Continue(settle1)
 			}
 			if int32(api.Round()) < int32(t) {
-				tr.Advance(api, nil)
+				tr.Advance(api)
 				return engine.Continue(phase1)
 			}
-			tr.Advance(api, nil)
+			tr.Advance(api)
 			return engine.Continue(phase2)
 		}
 		return phase1

@@ -114,7 +114,7 @@ func (p *Plan) TotalHSets() int {
 func (p *Plan) runPartitionWindows(api *engine.API, tr *hpartition.Tracker, perWindow func()) {
 	for s := range p.SegLen {
 		for m := 0; m < p.SegLen[s]; m++ {
-			joined, _ := tr.Step(api, nil)
+			joined, _ := tr.Step(api)
 			if joined {
 				return
 			}

@@ -31,7 +31,7 @@ func (p *Plan) startWindows(api *engine.API, tr *hpartition.Tracker,
 		if s >= len(p.SegLen) {
 			panic("segment: vertex failed to join within the planned partition rounds")
 		}
-		if tr.Advance(api, nil) {
+		if tr.Advance(api) {
 			return engine.Continue(joinTail)
 		}
 		return engine.Continue(tail)
@@ -49,7 +49,7 @@ func (p *Plan) startWindows(api *engine.API, tr *hpartition.Tracker,
 		}
 		return engine.Sleep(sleep, window)
 	}
-	if tr.Advance(api, nil) {
+	if tr.Advance(api) {
 		return engine.Continue(joinTail)
 	}
 	return engine.Continue(tail)

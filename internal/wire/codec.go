@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// This file is the slow-lane counterpart of the tagged-int64 fast lane: a
+// registry of byte codecs for the structured payloads that travel the
+// engine's `any` message lane. In-process backends never serialize — the
+// registry exists so that every lane payload type HAS a deterministic
+// byte form before cluster mode turns the step backend's shard seam into
+// a TCP seam (see ROADMAP). The payloadwire analyzer enforces the
+// contract statically: a lane type that is not structurally wire-codable
+// (it contains a map, a pointer, an interface, ...) must register a codec
+// here, and the registration site is what the analyzer looks for.
+//
+// Codecs must be deterministic: equal values must encode to identical
+// bytes on every process (maps iterated in sorted key order, no
+// addresses, no timestamps). That is what makes cross-replica Results
+// byte-comparable.
+
+// A Codec serializes one concrete payload type T.
+type Codec[T any] struct {
+	// Name is the stable wire identifier of the type (conventionally
+	// "pkg.Type"); it never changes once a wire format ships.
+	Name string
+	// Encode appends v's byte form to buf and returns the extended slice.
+	Encode func(buf []byte, v T) []byte
+	// Decode parses a value from the front of buf, returning it and the
+	// number of bytes consumed. Input is untrusted: return an error, never
+	// panic.
+	Decode func(buf []byte) (T, int, error)
+}
+
+// entry is one registered codec with its reflected type and erased
+// encode/decode, so the registry can serve lookups by dynamic type.
+type entry struct {
+	name   string
+	typ    reflect.Type
+	encode func(buf []byte, v any) []byte
+	decode func(buf []byte) (any, int, error)
+}
+
+var registry = struct {
+	sync.Mutex
+	byType map[reflect.Type]*entry
+	byName map[string]*entry
+}{
+	byType: map[reflect.Type]*entry{},
+	byName: map[string]*entry{},
+}
+
+// Register installs the codec for T. Registration happens in package
+// init functions, exactly once per type and per name; a duplicate is a
+// wiring bug and panics.
+func Register[T any](c Codec[T]) {
+	typ := reflect.TypeFor[T]()
+	if c.Name == "" || c.Encode == nil || c.Decode == nil {
+		panic(fmt.Sprintf("wire: incomplete codec for %v", typ))
+	}
+	e := &entry{
+		name: c.Name,
+		typ:  typ,
+		encode: func(buf []byte, v any) []byte {
+			return c.Encode(buf, v.(T))
+		},
+		decode: func(buf []byte) (any, int, error) {
+			v, n, err := c.Decode(buf)
+			return v, n, err
+		},
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byType[typ]; dup {
+		panic(fmt.Sprintf("wire: codec for %v registered twice", typ))
+	}
+	if _, dup := registry.byName[c.Name]; dup {
+		panic(fmt.Sprintf("wire: codec name %q registered twice", c.Name))
+	}
+	registry.byType[typ] = e
+	registry.byName[c.Name] = e
+}
+
+// Encode appends v's registered byte form to buf. It panics when v's
+// dynamic type has no codec: by the payloadwire contract every lane type
+// is registered, so a miss is a build bug, not a runtime condition.
+func Encode(buf []byte, v any) []byte {
+	registry.Lock()
+	e := registry.byType[reflect.TypeOf(v)]
+	registry.Unlock()
+	if e == nil {
+		panic(fmt.Sprintf("wire: no codec registered for %T", v))
+	}
+	return e.encode(buf, v)
+}
+
+// Decode parses a value of the named type from the front of buf.
+func Decode(name string, buf []byte) (any, int, error) {
+	registry.Lock()
+	e := registry.byName[name]
+	registry.Unlock()
+	if e == nil {
+		return nil, 0, fmt.Errorf("wire: no codec registered for %q", name)
+	}
+	return e.decode(buf)
+}
+
+// CodecName returns the registered wire name of v's dynamic type, or
+// ok=false.
+func CodecName(v any) (string, bool) {
+	registry.Lock()
+	e := registry.byType[reflect.TypeOf(v)]
+	registry.Unlock()
+	if e == nil {
+		return "", false
+	}
+	return e.name, true
+}
+
+// RegisteredNames lists every codec name, sorted — for diagnostics and
+// the codec round-trip tests.
+func RegisteredNames() []string {
+	registry.Lock()
+	defer registry.Unlock()
+	names := make([]string, 0, len(registry.byName))
+	for name := range registry.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AppendSortedInt32Map appends m as a deterministic byte form: the entry
+// count, then (key, value) pairs in ascending key order, keys
+// delta-coded, values zig-zagged. The shared helper keeps every
+// map-carrying codec canonical by construction.
+func AppendSortedInt32Map(buf []byte, m map[int32]int32) []byte {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	buf = AppendUvarint(buf, uint64(len(keys)))
+	prev := int64(0)
+	for _, k := range keys {
+		buf = AppendUvarint(buf, uint64(int64(k)-prev)) // keys ascend; first delta is absolute
+		prev = int64(k)
+		v := m[k]
+		buf = AppendUvarint(buf, uint64(uint32((v<<1)^(v>>31)))) // zigzag32
+	}
+	return buf
+}
+
+// DecodeSortedInt32Map decodes AppendSortedInt32Map's form. maxEntries
+// bounds allocation against corrupt counts.
+func DecodeSortedInt32Map(buf []byte, maxEntries int) (map[int32]int32, int, error) {
+	count, n := Uvarint(buf)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("wire: map count truncated")
+	}
+	if count > uint64(maxEntries) {
+		return nil, 0, fmt.Errorf("wire: map count %d exceeds limit %d", count, maxEntries)
+	}
+	pos := n
+	m := make(map[int32]int32, count)
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		dk, n := Uvarint(buf[pos:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("wire: map key truncated at entry %d", i)
+		}
+		pos += n
+		key := prev + int64(dk)
+		if i > 0 && dk == 0 {
+			return nil, 0, fmt.Errorf("wire: duplicate map key at entry %d", i)
+		}
+		if key != int64(int32(key)) {
+			return nil, 0, fmt.Errorf("wire: map key %d overflows int32", key)
+		}
+		prev = key
+		zv, n := Uvarint(buf[pos:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("wire: map value truncated at entry %d", i)
+		}
+		pos += n
+		if zv>>32 != 0 {
+			return nil, 0, fmt.Errorf("wire: map value %d overflows int32", zv)
+		}
+		m[int32(key)] = int32(uint32(zv)>>1) ^ -int32(zv&1)
+	}
+	return m, pos, nil
+}

@@ -1,0 +1,109 @@
+package wire_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vavg/internal/wire"
+)
+
+type testPayload struct {
+	Kind int32
+	M    map[int32]int32
+}
+
+func init() {
+	wire.Register(wire.Codec[testPayload]{
+		Name: "wire_test.testPayload",
+		Encode: func(buf []byte, v testPayload) []byte {
+			buf = wire.AppendUvarint(buf, uint64(uint32(v.Kind)))
+			return wire.AppendSortedInt32Map(buf, v.M)
+		},
+		Decode: func(buf []byte) (testPayload, int, error) {
+			k, n := wire.Uvarint(buf)
+			if n <= 0 {
+				return testPayload{}, 0, fmt.Errorf("kind truncated")
+			}
+			m, mn, err := wire.DecodeSortedInt32Map(buf[n:], 1<<16)
+			if err != nil {
+				return testPayload{}, 0, err
+			}
+			return testPayload{Kind: int32(k), M: m}, n + mn, nil
+		},
+	})
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	v := testPayload{Kind: 7, M: map[int32]int32{3: -1, 1: 42, 900: 0}}
+	buf := wire.Encode(nil, v)
+	got, n, err := wire.Decode("wire_test.testPayload", buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(buf))
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("round trip: got %+v want %+v", got, v)
+	}
+	if name, ok := wire.CodecName(v); !ok || name != "wire_test.testPayload" {
+		t.Fatalf("CodecName = %q, %v", name, ok)
+	}
+}
+
+// TestCodecDeterministicBytes is the cluster-mode property: equal values
+// must encode identically regardless of map build order or process.
+func TestCodecDeterministicBytes(t *testing.T) {
+	a := map[int32]int32{}
+	b := map[int32]int32{}
+	for i := int32(0); i < 100; i++ {
+		a[i*3] = i - 50
+	}
+	for i := int32(99); i >= 0; i-- {
+		b[i*3] = i - 50
+	}
+	ba := wire.AppendSortedInt32Map(nil, a)
+	bb := wire.AppendSortedInt32Map(nil, b)
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("equal maps encoded to different bytes")
+	}
+	got, n, err := wire.DecodeSortedInt32Map(ba, 1<<16)
+	if err != nil || n != len(ba) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatal("map round trip mismatch")
+	}
+}
+
+func TestDecodeSortedInt32MapRejectsCorrupt(t *testing.T) {
+	good := wire.AppendSortedInt32Map(nil, map[int32]int32{1: 2, 3: 4})
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"truncated", good[:len(good)-1]},
+		{"count bomb", wire.AppendUvarint(nil, 1<<40)},
+		{"empty input", nil},
+	}
+	for _, tc := range cases {
+		if _, _, err := wire.DecodeSortedInt32Map(tc.buf, 1<<16); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", tc.name)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	wire.Register(wire.Codec[testPayload]{
+		Name:   "wire_test.testPayload.dup",
+		Encode: func(buf []byte, v testPayload) []byte { return buf },
+		Decode: func(buf []byte) (testPayload, int, error) { return testPayload{}, 0, nil },
+	})
+}
